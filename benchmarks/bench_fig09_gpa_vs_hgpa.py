@@ -1,0 +1,52 @@
+"""Figure 9: GPA vs HGPA on Web — runtime, space, offline time, network.
+
+Paper: at 6 machines HGPA beats GPA on every axis — slightly faster
+(better load balance), smaller max space, less offline time, and less
+network traffic.  Expected shape here: HGPA ≤ GPA on all four columns.
+"""
+
+import statistics
+
+from repro.bench import ExperimentTable, bench_queries, gpa_index, hgpa_index
+from repro.distributed import DistributedGPA, DistributedHGPA, precompute_report
+
+DATASET = "web"
+MACHINES = 6
+
+
+def _measure(deployment, queries):
+    runtimes, comms = [], []
+    for q in queries.tolist():
+        _, report = deployment.query(int(q))
+        runtimes.append(report.runtime_seconds * 1000)
+        comms.append(report.communication_kb)
+    pre = precompute_report(deployment)
+    return {
+        "runtime_ms": statistics.median(runtimes),
+        "space_mb": deployment.max_machine_bytes() / 1e6,
+        "offline_s": pre.makespan_seconds,
+        "network_kb": statistics.median(comms),
+    }
+
+
+def test_fig09_gpa_vs_hgpa(benchmark):
+    queries = bench_queries(DATASET, 12)
+    hgpa = DistributedHGPA(hgpa_index(DATASET), MACHINES)
+    gpa = DistributedGPA(gpa_index(DATASET, MACHINES), MACHINES)
+    rows = {"HGPA": _measure(hgpa, queries), "GPA": _measure(gpa, queries)}
+
+    table = ExperimentTable(
+        "Fig 09",
+        f"GPA vs HGPA on {DATASET} ({MACHINES} machines)",
+        ["algorithm", "runtime (ms)", "max space (MB)", "offline (s)", "network (KB)"],
+    )
+    for name, r in rows.items():
+        table.add(name, r["runtime_ms"], r["space_mb"], r["offline_s"], r["network_kb"])
+    table.note("paper shape: HGPA ≤ GPA on runtime, space and offline time")
+    table.emit()
+
+    assert rows["HGPA"]["space_mb"] <= rows["GPA"]["space_mb"] * 1.1
+    assert rows["HGPA"]["offline_s"] <= rows["GPA"]["offline_s"] * 1.2
+
+    q0 = int(queries[0])
+    benchmark(lambda: hgpa.query(q0))

@@ -1,0 +1,39 @@
+"""Figure 11: HGPA maximum per-machine space vs number of machines.
+
+Paper: the max space per machine shrinks as machines are added — no
+redundancy is shared between machines.  Expected shape here: monotone
+(within round-robin jitter) decrease, total constant.
+"""
+
+from repro import datasets
+from repro.bench import ExperimentTable, hgpa_index
+from repro.distributed import DistributedHGPA
+
+DATASETS = ("web", "youtube", "pld")
+MACHINES = (2, 4, 6, 8, 10)
+
+
+def test_fig11_machines_space(benchmark):
+    table = ExperimentTable(
+        "Fig 11",
+        "HGPA max per-machine space vs number of machines",
+        ["dataset"] + [f"{m} mach (MB)" for m in MACHINES] + ["total (MB)"],
+    )
+    for name in DATASETS:
+        index = hgpa_index(name)
+        row = [name]
+        sizes = []
+        for m in MACHINES:
+            dep = DistributedHGPA(index, m)
+            sizes.append(dep.max_machine_bytes() / 1e6)
+            row.append(sizes[-1])
+            # Nothing is duplicated across machines.
+            assert dep.total_stored_bytes() == index.total_bytes()
+        row.append(index.total_bytes() / 1e6)
+        table.add(*row)
+        assert sizes[-1] < sizes[0], f"{name}: space must shrink with machines"
+    table.note("paper shape: max space/machine decreases; no shared redundancy")
+    table.emit()
+
+    index = hgpa_index("web")
+    benchmark(lambda: DistributedHGPA(index, 6).max_machine_bytes())

@@ -1,0 +1,51 @@
+"""Figure 13: HGPA query communication cost vs number of machines.
+
+Paper: communication grows mildly with the machine count (more vectors
+arrive at the coordinator, supports overlap) but stays under ~2 MB even on
+the 3M-node PLD at 10 machines — Theorem 4's O(n·|V|) bound.  Expected
+shape here: gentle growth with machines; every query ships exactly one
+vector per machine.
+"""
+
+import statistics
+
+from repro import datasets
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+from repro.distributed import DistributedHGPA
+
+DATASETS = ("web", "youtube", "pld")
+MACHINES = (2, 4, 6, 8, 10)
+
+
+def test_fig13_machines_network(benchmark):
+    table = ExperimentTable(
+        "Fig 13",
+        "HGPA communication cost vs number of machines",
+        ["dataset"] + [f"{m} mach (KB)" for m in MACHINES] + ["bound 10m (KB)"],
+    )
+    for name in DATASETS:
+        index = hgpa_index(name)
+        graph = datasets.load(name)
+        queries = bench_queries(name, 10)
+        row = [name]
+        comms = []
+        for m in MACHINES:
+            dep = DistributedHGPA(index, m)
+            vals = []
+            for q in queries.tolist():
+                _, rep = dep.query(int(q))
+                vals.append(rep.communication_kb)
+                assert len(rep.per_machine_bytes) == m  # one vector each
+            comms.append(statistics.median(vals))
+            row.append(comms[-1])
+        bound_kb = 10 * (16 + 12 * graph.num_nodes + 8) / 1024
+        row.append(round(bound_kb, 1))
+        table.add(*row)
+        assert comms[-1] >= comms[0] * 0.8, f"{name}: comm should not shrink much"
+        assert comms[-1] <= bound_kb, f"{name}: Theorem 4 bound violated"
+    table.note("paper shape: mild growth with machines, bounded by O(n·|V|)")
+    table.emit()
+
+    dep = DistributedHGPA(hgpa_index("web"), 10)
+    q0 = int(bench_queries("web", 1)[0])
+    benchmark(lambda: dep.query(q0))

@@ -1,0 +1,42 @@
+"""Figure 14: HGPA query runtime vs number of partitioning levels.
+
+Paper: runtime grows slightly with more levels (Eq. 7 visits one subgraph
+per level), e.g. Email 5→10 ms over levels 1→5.  Expected shape here: a
+mild increase in query work from the shallowest to the deepest hierarchy.
+"""
+
+import statistics
+
+from repro.bench import ExperimentTable, bench_queries, hgpa_index, time_queries
+
+SWEEPS = {
+    "email": (1, 2, 3, 4, 5),
+    "web": (2, 4, 6, 8),
+    "youtube": (3, 5, 7, 9),
+}
+
+
+def test_fig14_levels_runtime(benchmark):
+    table = ExperimentTable(
+        "Fig 14",
+        "HGPA query runtime (ms, wall) vs number of partitioning levels",
+        ["dataset"] + ["level " + str(i) for i in range(1, 6)],
+    )
+    for name, levels in SWEEPS.items():
+        queries = bench_queries(name, 10)
+        row = [name]
+        walls = []
+        for lv in levels:
+            index = hgpa_index(name, max_levels=lv)
+            wall = time_queries(index.query, queries) * 1000
+            walls.append(wall)
+            row.append(round(wall, 3))
+        while len(row) < 6:
+            row.append("-")
+        table.add(*row)
+    table.note("paper shape: runtime increases slightly with more levels")
+    table.emit()
+
+    index = hgpa_index("email", max_levels=5)
+    q0 = int(bench_queries("email", 1)[0])
+    benchmark(lambda: index.query(q0))

@@ -1,0 +1,39 @@
+"""Figure 16: HGPA pre-computation time vs number of partitioning levels.
+
+Paper: offline time decreases with more levels — iterations run inside
+exponentially smaller subgraphs.  Expected shape here: deepest hierarchy
+pre-computes faster than the shallowest.
+"""
+
+from repro.bench import ExperimentTable, hgpa_index
+
+SWEEPS = {
+    "email": (1, 2, 3, 4, 5),
+    "web": (2, 4, 6, 8),
+    "youtube": (3, 5, 7, 9),
+}
+
+
+def test_fig16_levels_offline(benchmark):
+    table = ExperimentTable(
+        "Fig 16",
+        "HGPA pre-computation time (s, one machine) vs partitioning levels",
+        ["dataset"] + ["level " + str(i) for i in range(1, 6)],
+    )
+    for name, levels in SWEEPS.items():
+        row = [name]
+        offline = []
+        for lv in levels:
+            index = hgpa_index(name, max_levels=lv)
+            offline.append(index.offline_seconds())
+            row.append(round(offline[-1], 3))
+        while len(row) < 6:
+            row.append("-")
+        table.add(*row)
+        assert offline[-1] < offline[0] * 1.3, (
+            f"{name}: deeper hierarchies should not pre-compute slower"
+        )
+    table.note("paper shape: offline time decreases as subgraphs shrink")
+    table.emit()
+
+    benchmark(lambda: hgpa_index("email", max_levels=5).offline_seconds())

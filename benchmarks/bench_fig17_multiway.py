@@ -1,0 +1,50 @@
+"""Figure 17: effect of multi-way partitioning (2/4/8/16/64-way) on Web.
+
+Paper: runtime decreases slightly with wider fan-out, but pre-computation
+space and time grow substantially — which is why 2-way is the default.
+Expected shape here: space and offline cost grow from fan-out 2 to the
+widest; query runtime stays in the same band.
+"""
+
+import math
+
+from repro.bench import ExperimentTable, bench_queries, hgpa_index, time_queries
+
+DATASET = "web"
+FANOUTS = (2, 4, 8, 16, 64)
+TARGET_LEAVES = 256  # keep the number of leaf subgraphs comparable
+
+
+def _levels_for(fanout: int) -> int:
+    return max(1, round(math.log(TARGET_LEAVES, fanout)))
+
+
+def test_fig17_multiway(benchmark):
+    queries = bench_queries(DATASET, 10)
+    table = ExperimentTable(
+        "Fig 17",
+        f"Multi-way partitioning on {DATASET}",
+        ["fanout", "levels", "runtime (ms)", "space (MB)", "offline (s)", "hubs"],
+    )
+    space = {}
+    for fanout in FANOUTS:
+        levels = _levels_for(fanout)
+        index = hgpa_index(DATASET, fanout=fanout, max_levels=levels)
+        wall = time_queries(index.query, queries) * 1000
+        space[fanout] = index.total_bytes() / 1e6
+        table.add(
+            fanout,
+            levels,
+            round(wall, 3),
+            round(space[fanout], 2),
+            round(index.offline_seconds(), 3),
+            int(index.hierarchy.hub_nodes().size),
+        )
+    table.note("paper shape: wider fanout ⇒ more pre-computation space/time; "
+               "2-way is the space/time sweet spot")
+    table.emit()
+    assert space[64] > space[2], "wide fanout must cost more space"
+
+    index = hgpa_index(DATASET, fanout=2, max_levels=_levels_for(2))
+    q0 = int(queries[0])
+    benchmark(lambda: index.query(q0))

@@ -1,0 +1,51 @@
+"""Figure 18: effect of tolerance ε on HGPA (Web).
+
+Paper: all four measures — query runtime, index space, offline time and
+communication — increase as ε shrinks from 1e-2 to 1e-6, because smaller
+tolerances generate more small values.  Expected shape here: monotone (up
+to noise) growth in all four columns as ε decreases.
+"""
+
+import statistics
+
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+from repro.distributed import DistributedHGPA
+
+DATASET = "web"
+TOLERANCES = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+MACHINES = 6
+
+
+def test_fig18_tolerance(benchmark):
+    queries = bench_queries(DATASET, 8)
+    table = ExperimentTable(
+        "Fig 18",
+        f"Effect of tolerance ε on {DATASET} (HGPA, {MACHINES} machines)",
+        ["tolerance", "runtime (ms)", "space (MB)", "offline (s)", "network (KB)"],
+    )
+    sizes, comms = [], []
+    for tol in TOLERANCES:
+        index = hgpa_index(DATASET, tol=tol)
+        dep = DistributedHGPA(index, MACHINES)
+        runtimes, nets = [], []
+        for q in queries.tolist():
+            _, rep = dep.query(int(q))
+            runtimes.append(rep.runtime_seconds * 1000)
+            nets.append(rep.communication_kb)
+        sizes.append(index.total_bytes() / 1e6)
+        comms.append(statistics.median(nets))
+        table.add(
+            f"{tol:.0e}",
+            statistics.median(runtimes),
+            round(sizes[-1], 2),
+            round(index.offline_seconds(), 3),
+            comms[-1],
+        )
+    table.note("paper shape: every measure grows as ε decreases")
+    table.emit()
+    assert sizes[-1] > sizes[0], "smaller ε must store more"
+    assert comms[-1] > comms[0], "smaller ε must ship more"
+
+    index = hgpa_index(DATASET, tol=1e-4)
+    q0 = int(queries[0])
+    benchmark(lambda: index.query(q0))

@@ -1,0 +1,47 @@
+"""Figure 19: ℓ-norm accuracy of HGPA vs tolerance ε (Email, Web).
+
+Paper: both the average L1 and the L∞ difference against power iteration
+shrink in lock-step with ε — "the ℓ-norms are nearly in the same order of
+magnitude with the tolerance".  Expected shape here: error decreasing
+monotonically with ε, staying within ~2 orders of ε.
+"""
+
+import statistics
+
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+from repro.core import power_iteration_ppv
+from repro import datasets
+from repro.metrics import average_l1, l_inf
+
+DATASETS = ("email", "web")
+TOLERANCES = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+
+
+def test_fig19_accuracy_tolerance(benchmark):
+    table = ExperimentTable(
+        "Fig 19",
+        "Accuracy vs tolerance (against power iteration at 1e-10)",
+        ["dataset", "tolerance", "avg L1", "L_inf"],
+    )
+    for name in DATASETS:
+        graph = datasets.load(name)
+        queries = bench_queries(name, 5)
+        refs = {int(q): power_iteration_ppv(graph, int(q), tol=1e-10) for q in queries}
+        linfs = []
+        for tol in TOLERANCES:
+            index = hgpa_index(name, tol=tol)
+            l1s, li = [], []
+            for q, ref in refs.items():
+                vec = index.query(q)
+                l1s.append(average_l1(vec, ref))
+                li.append(l_inf(vec, ref))
+            linfs.append(statistics.median(li))
+            table.add(name, f"{tol:.0e}", statistics.median(l1s), linfs[-1])
+        assert linfs[-1] < linfs[0], f"{name}: error must shrink with ε"
+        assert linfs[-1] < 1e-4, f"{name}: ε=1e-6 must be ~exact"
+    table.note("paper shape: ℓ-norms track ε order-of-magnitude for order")
+    table.emit()
+
+    index = hgpa_index("email", tol=1e-4)
+    q0 = int(bench_queries("email", 1)[0])
+    benchmark(lambda: index.query(q0))

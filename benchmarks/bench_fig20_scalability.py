@@ -1,0 +1,49 @@
+"""Figure 20: HGPA scalability with graph size (Meetup M1–M5, 10 machines).
+
+Paper: query runtime, per-machine space and offline time all grow roughly
+linearly with the graph size.  Expected shape here: monotone growth of all
+three measures from M1 to M5.
+"""
+
+import statistics
+
+from repro import datasets
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+from repro.distributed import DistributedHGPA, precompute_report
+
+GRAPHS = [f"meetup_m{i}" for i in range(1, 6)]
+MACHINES = 10
+
+
+def test_fig20_scalability(benchmark):
+    table = ExperimentTable(
+        "Fig 20",
+        f"HGPA scalability on Meetup stand-ins ({MACHINES} machines)",
+        ["graph", "nodes", "edges", "runtime (ms)", "space (MB)", "offline (s)"],
+    )
+    runtimes, spaces, offlines = [], [], []
+    for name in GRAPHS:
+        graph = datasets.load(name)
+        index = hgpa_index(name)
+        dep = DistributedHGPA(index, MACHINES)
+        queries = bench_queries(name, 8)
+        vals = []
+        for q in queries.tolist():
+            _, rep = dep.query(int(q))
+            vals.append(rep.runtime_seconds * 1000)
+        pre = precompute_report(dep)
+        runtimes.append(statistics.median(vals))
+        spaces.append(dep.max_machine_bytes() / 1e6)
+        offlines.append(pre.makespan_seconds)
+        table.add(
+            name, graph.num_nodes, graph.num_edges,
+            runtimes[-1], round(spaces[-1], 2), round(offlines[-1], 3),
+        )
+    table.note("paper shape: runtime/space/offline grow ~linearly with size")
+    table.emit()
+    assert spaces[-1] > spaces[0], "space must grow with graph size"
+    assert offlines[-1] > offlines[0], "offline time must grow with graph size"
+
+    dep = DistributedHGPA(hgpa_index("meetup_m1"), MACHINES)
+    q0 = int(bench_queries("meetup_m1", 1)[0])
+    benchmark(lambda: dep.query(q0))

@@ -1,0 +1,52 @@
+"""Figure 21: query runtime — HGPA vs Pregel+ vs Blogel (Web, Youtube).
+
+Paper: HGPA is 10–100× faster than power iteration on both engines;
+Pregel+/Blogel get *slower* with more machines (every superstep is a
+communication round), while HGPA gets faster.  Expected shape here:
+HGPA ≪ Blogel < Pregel+ in modeled runtime at every machine count.
+"""
+
+import statistics
+
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+from repro.distributed import DistributedHGPA
+from repro.engines import BlogelPPR, PregelPPR
+from repro import datasets
+
+DATASETS = ("web", "youtube")
+MACHINES = (2, 6, 10)
+TOL = 1e-4
+
+
+def test_fig21_engines_runtime(benchmark):
+    table = ExperimentTable(
+        "Fig 21",
+        "Runtime (ms, cost model): HGPA vs Pregel+ vs Blogel",
+        ["dataset", "machines", "HGPA", "Blogel", "Pregel+", "speedup vs Pregel+"],
+    )
+    for name in DATASETS:
+        graph = datasets.load(name)
+        index = hgpa_index(name, tol=TOL)
+        queries = bench_queries(name, 6)
+        for m in MACHINES:
+            dep = DistributedHGPA(index, m)
+            hgpa_ms = statistics.median(
+                [dep.query(int(q))[1].runtime_seconds * 1000 for q in queries]
+            )
+            q0 = int(queries[0])
+            _, blog = BlogelPPR(graph, m).query(q0, tol=TOL)
+            _, preg = PregelPPR(graph, m).query(q0, tol=TOL)
+            blog_ms = blog.runtime_seconds * 1000
+            preg_ms = preg.runtime_seconds * 1000
+            table.add(name, m, hgpa_ms, blog_ms, preg_ms,
+                      round(preg_ms / max(1e-9, hgpa_ms), 1))
+            assert hgpa_ms < blog_ms < preg_ms, (
+                f"{name}@{m}: expected HGPA < Blogel < Pregel+"
+            )
+            assert preg_ms / hgpa_ms > 10, "HGPA must win by ≥10x"
+    table.note("paper shape: HGPA faster by orders of magnitude; engines "
+               "slow down as machines increase")
+    table.emit()
+
+    graph = datasets.load("web")
+    benchmark(lambda: PregelPPR(graph, 6).query(0, tol=1e-2))

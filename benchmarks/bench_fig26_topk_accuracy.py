@@ -1,0 +1,65 @@
+"""Figure 26: exact vs approximate — top-100 Precision, RAG, Kendall's τ.
+
+Paper: HGPA scores ~1.0 on every metric; HGPA_ad nearly full score; FastPPV
+misses ≈30 % of the top-100 nodes and mis-orders ≈10 % of pairs.  Expected
+shape here: HGPA = 1.0, HGPA_ad ≥ FastPPV on all three metrics.
+"""
+
+import statistics
+
+from repro import datasets
+from repro.bench import ExperimentTable, bench_queries, fastppv_index, hgpa_index
+from repro.core import power_iteration_ppv
+from repro.metrics import kendall_tau_at_k, precision_at_k, rag_at_k
+
+DATASETS = ("email", "web")
+TOL = 1e-4
+K = 100
+FAST_BUDGET = 10  # tight budget: the approximation regime of the figure
+
+
+def _hub_counts(name: str) -> tuple[int, int]:
+    n = datasets.load(name).num_nodes
+    return max(8, n // 100), max(32, n // 12)
+
+
+def test_fig26_topk_accuracy(benchmark):
+    table = ExperimentTable(
+        "Fig 26",
+        f"Top-{K} accuracy: Precision / RAG / Kendall",
+        ["dataset", "variant", "precision", "RAG", "kendall"],
+    )
+    for name in DATASETS:
+        graph = datasets.load(name)
+        queries = bench_queries(name, 5)
+        refs = {int(q): power_iteration_ppv(graph, int(q), tol=1e-10) for q in queries}
+        small, large = _hub_counts(name)
+        variants = {}
+        for label, hubs in ((f"Fast-{small}", small), (f"Fast-{large}", large)):
+            fp = fastppv_index(name, hubs, tol=TOL)
+            variants[label] = lambda q, fp=fp: fp.query(q, max_expansions=FAST_BUDGET)
+        variants["HGPA"] = hgpa_index(name, tol=TOL, prune=0.0).query  # exact
+        variants["HGPA_ad"] = hgpa_index(name, tol=TOL, prune=1e-4).query
+        scores = {}
+        for label, fn in variants.items():
+            precs, rags, kends = [], [], []
+            for q, ref in refs.items():
+                vec = fn(q)
+                precs.append(precision_at_k(vec, ref, K))
+                rags.append(rag_at_k(vec, ref, K))
+                kends.append(kendall_tau_at_k(vec, ref, K))
+            scores[label] = (
+                statistics.median(precs),
+                statistics.median(rags),
+                statistics.median(kends),
+            )
+            table.add(name, label, *[round(v, 4) for v in scores[label]])
+        assert scores["HGPA"][0] >= 0.99, f"{name}: exact HGPA must be ~perfect"
+        assert scores["HGPA_ad"][0] >= 0.95, f"{name}: HGPA_ad near-full score"
+    table.note("paper shape: HGPA perfect; HGPA_ad near-perfect; FastPPV "
+               "loses precision and pair order under budget")
+    table.emit()
+
+    index = hgpa_index("email", tol=TOL)
+    q0 = int(bench_queries("email", 1)[0])
+    benchmark(lambda: index.query(q0))

@@ -1,0 +1,58 @@
+"""Figure 28 (Appendix B): HGPA on PLD_full with 500–1500 processors.
+
+Paper: on the 101M-node graph (ε = 1e-2, EC2, up to 1500 processors) the
+query runtime stays under 2 s and is barely hurt by network cost because
+only one communication round happens; offline time and per-processor space
+keep shrinking with more processors, while communication grows into the MB
+range.  Expected shape here (large stand-in + simulated processors):
+runtime roughly flat, offline/space decreasing, communication growing.
+"""
+
+import statistics
+
+from repro import datasets
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+from repro.distributed import DistributedHGPA, precompute_report
+
+DATASET = "pld_full"
+PROCESSORS = (500, 1000, 1500)
+TOL = 1e-2  # the paper's setting for this experiment
+
+
+def test_fig28_pld_full(benchmark):
+    graph = datasets.load(DATASET)
+    index = hgpa_index(DATASET, tol=TOL)
+    queries = bench_queries(DATASET, 4)
+    table = ExperimentTable(
+        "Fig 28",
+        f"HGPA on {DATASET} stand-in (n={graph.num_nodes}, ε={TOL})",
+        ["processors", "runtime (ms)", "offline (s)", "space/proc (KB)",
+         "communication (KB)"],
+    )
+    runtimes, offlines, spaces, comms = [], [], [], []
+    for procs in PROCESSORS:
+        dep = DistributedHGPA(index, procs)
+        rts, nets = [], []
+        for q in queries.tolist():
+            _, rep = dep.query(int(q))
+            rts.append(rep.runtime_seconds * 1000)
+            nets.append(rep.communication_kb)
+        pre = precompute_report(dep)
+        runtimes.append(statistics.median(rts))
+        offlines.append(pre.makespan_seconds)
+        spaces.append(dep.max_machine_bytes() / 1024)
+        comms.append(statistics.median(nets))
+        table.add(procs, runtimes[-1], round(offlines[-1], 4),
+                  round(spaces[-1], 1), comms[-1])
+    table.note("paper shape: runtime ~flat (one communication round); "
+               "offline/space shrink; communication grows with processors")
+    table.emit()
+    assert offlines[-1] <= offlines[0], "offline time must not grow"
+    assert spaces[-1] <= spaces[0], "space per processor must not grow"
+    assert comms[-1] >= comms[0], "communication grows with processors"
+    # One communication round keeps runtime within a small factor.
+    assert runtimes[-1] < runtimes[0] * 5
+
+    dep = DistributedHGPA(index, 500)
+    q0 = int(queries[0])
+    benchmark(lambda: dep.query(q0))

@@ -1,0 +1,36 @@
+"""Table 6: Meetup graph sizes for the scalability study.
+
+Paper: five graphs M1–M5 built from increasing numbers of Meetup events,
+997K → 1.8M nodes and 83M → 194M edges (average degree ≈ 80–110).
+Expected shape here: monotonically growing node and edge counts with the
+same dense, event-clique character (scaled down).
+"""
+
+from repro import datasets
+from repro.bench import ExperimentTable
+
+GRAPHS = [f"meetup_m{i}" for i in range(1, 6)]
+
+
+def test_table6_meetup_sizes(benchmark):
+    table = ExperimentTable(
+        "Table 6",
+        "Graph sizes for scalability study (Meetup stand-ins)",
+        ["graph", "nodes", "edges", "avg out-degree", "paper nodes", "paper edges"],
+    )
+    rows = []
+    for name in GRAPHS:
+        s = datasets.spec(name)
+        g = datasets.load(name)
+        rows.append((g.num_nodes, g.num_edges))
+        table.add(
+            name, g.num_nodes, g.num_edges,
+            round(g.num_edges / g.num_nodes, 1), s.paper_nodes, s.paper_edges,
+        )
+    sizes = [r[0] for r in rows]
+    edges = [r[1] for r in rows]
+    assert sizes == sorted(sizes) and edges == sorted(edges)
+    table.note("paper shape: monotone growth in nodes and edges, m/n ≈ 80–110")
+    table.emit()
+
+    benchmark(lambda: datasets.spec("meetup_m3").build().num_edges)

@@ -1,0 +1,41 @@
+"""Tables 2–5: hub nodes per level of the HGPA hierarchy.
+
+Paper: for each dataset the 2-way hierarchical partitioning yields hub
+counts per level that are always much smaller than the node count, with the
+level-0 split the largest and a rise near the leaves (Email 1208/84/34/…,
+Web 6763/…/15115, etc.).  Expected shape here: the same U-profile with
+``Σ|H_level| ≪ |V|``.
+"""
+
+from repro import datasets
+from repro.bench import ExperimentTable, bench_queries, hgpa_index
+
+DATASETS = ("email", "web", "youtube", "pld")
+
+
+def test_tables_2_5_hub_counts(benchmark):
+    table = ExperimentTable(
+        "Tables 2-5",
+        "Hub nodes in each level (stand-in datasets)",
+        ["dataset", "nodes", "edges", "levels", "total hubs", "hubs/level"],
+    )
+    for name in DATASETS:
+        index = hgpa_index(name)
+        graph = datasets.load(name)
+        counts = index.hierarchy.hub_counts_per_level()
+        table.add(
+            name,
+            graph.num_nodes,
+            graph.num_edges,
+            index.hierarchy.depth,
+            sum(counts),
+            " ".join(str(c) for c in counts),
+        )
+        assert sum(counts) < graph.num_nodes, "hubs must stay well below |V|"
+    table.note("paper shape: |H| ≪ |V| at every level; level 0 largest")
+    table.emit()
+
+    # Timed op: one full hierarchy-chain walk (the query-side structure use).
+    index = hgpa_index("email")
+    queries = bench_queries("email", 10)
+    benchmark(lambda: [index.hierarchy.chain(int(q)) for q in queries])

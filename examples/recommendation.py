@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Who-to-follow style recommendation on a bipartite interest graph.
+
+The paper cites recommendation ([22, 27]) as a core PPV application: on a
+user↔item graph, the PPV of a user ranks items by multi-hop affinity
+(user → item → other users → their items …), which plain neighbour counts
+miss.  Preference-set queries (the linearity property) personalise to a
+whole watch-history at once.
+
+Run:  python examples/recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_hgpa_index, ppv_for_preference_set
+from repro.graph import DiGraph
+
+
+def build_user_item_graph(
+    num_users: int, num_items: int, *, seed: int
+) -> tuple[DiGraph, np.ndarray]:
+    """Users 0..U-1, items U..U+I-1; edges both ways per interaction.
+
+    Users belong to taste clusters; each cluster prefers a slice of items.
+    """
+    rng = np.random.default_rng(seed)
+    clusters = 6
+    user_cluster = rng.integers(0, clusters, num_users)
+    src, dst = [], []
+    for u in range(num_users):
+        c = user_cluster[u]
+        lo = c * num_items // clusters
+        hi = (c + 1) * num_items // clusters
+        favourites = rng.integers(lo, hi, 6)
+        wildcard = rng.integers(0, num_items, 2)
+        for item in np.concatenate([favourites, wildcard]):
+            item_node = num_users + int(item)
+            src += [u, item_node]
+            dst += [item_node, u]
+    graph = DiGraph.from_arrays(
+        num_users + num_items, np.asarray(src), np.asarray(dst), name="user-item"
+    )
+    return graph.with_dangling_policy("self_loop"), user_cluster
+
+
+def main() -> None:
+    num_users, num_items = 900, 300
+    graph, user_cluster = build_user_item_graph(num_users, num_items, seed=5)
+    print(f"graph: {graph} ({num_users} users, {num_items} items)")
+
+    index = build_hgpa_index(graph, max_levels=6, tol=1e-5, seed=0)
+    print(f"index: {index.hierarchy.hub_nodes().size} hubs, "
+          f"{index.total_bytes() / 1e6:.1f} MB\n")
+
+    rng = np.random.default_rng(2)
+    in_cluster_rate = []
+    for user in rng.integers(0, num_users, 4).tolist():
+        # Personalise to the user's three most recent items (linearity).
+        history = graph.successors(user)[:3]
+        pref = {user: 1.0, **{int(i): 1.0 for i in history}}
+        ppv = ppv_for_preference_set(index.query, pref)
+        # Rank unseen items only.
+        scores = ppv[num_users:].copy()
+        seen = graph.successors(user) - num_users
+        scores[seen[seen >= 0]] = -1.0
+        top_items = np.argsort(-scores)[:5]
+        cluster = user_cluster[user]
+        lo = cluster * num_items // 6
+        hi = (cluster + 1) * num_items // 6
+        in_cluster = np.mean((top_items >= lo) & (top_items < hi))
+        in_cluster_rate.append(in_cluster)
+        print(f"user {user:3d} (taste cluster {cluster}): recommend items "
+              f"{top_items.tolist()}  in-cluster={in_cluster:.2f}")
+
+    mean_rate = float(np.mean(in_cluster_rate))
+    print(f"\nmean in-cluster rate: {mean_rate:.2f} (random ≈ 0.17)")
+    assert mean_rate > 0.5, "recommendations should respect taste clusters"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Approximate PPV baselines: FastPPV [49] and Monte-Carlo simulation."""
+
+from repro.approx.fastppv import FastPPVIndex, FastPPVQueryInfo, build_fastppv_index
+from repro.approx.monte_carlo import monte_carlo_ppv
+
+__all__ = [
+    "FastPPVIndex",
+    "FastPPVQueryInfo",
+    "build_fastppv_index",
+    "monte_carlo_ppv",
+]

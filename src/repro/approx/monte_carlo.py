@@ -1,0 +1,69 @@
+"""Monte-Carlo PPV estimation (Fogaras et al. [14], Bahmani et al. [5, 6]).
+
+The classic approximate family the related-work section contrasts with:
+simulate ``N`` random walks from the query node, each of geometric length
+(stop with probability α per step); the empirical end-point distribution is
+an unbiased PPV estimate with error ``O(1/√N)`` per entry.  Walks are
+simulated in vectorised batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["monte_carlo_ppv"]
+
+
+def monte_carlo_ppv(
+    graph: DiGraph,
+    query: int,
+    *,
+    num_walks: int = 10_000,
+    alpha: float = 0.15,
+    max_length: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Estimate PPV(query) from ``num_walks`` terminating random walks.
+
+    Dangling-node behaviour matches the absorb convention: a walk stuck on
+    a dangling node is restarted (its sample counts at the dangling node).
+    """
+    n = graph.num_nodes
+    if not 0 <= query < n:
+        raise QueryError(f"query node {query} out of range")
+    if num_walks < 1:
+        raise QueryError("num_walks must be >= 1")
+    rng = np.random.default_rng(seed)
+    positions = np.full(num_walks, query, dtype=np.int64)
+    alive = np.ones(num_walks, dtype=bool)
+    counts = np.zeros(n)
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    for _ in range(max_length):
+        stop = rng.random(num_walks) < alpha
+        ending = alive & stop
+        if ending.any():
+            np.add.at(counts, positions[ending], 1.0)
+            alive &= ~stop
+        if not alive.any():
+            break
+        walkers = np.nonzero(alive)[0]
+        pos = positions[walkers]
+        deg = degrees[pos]
+        stuck = deg == 0
+        if stuck.any():
+            stuck_ids = walkers[stuck]
+            np.add.at(counts, positions[stuck_ids], 1.0)
+            alive[stuck_ids] = False
+            walkers, pos, deg = walkers[~stuck], pos[~stuck], deg[~stuck]
+        if walkers.size == 0:
+            continue
+        offsets = (rng.random(walkers.size) * deg).astype(np.int64)
+        positions[walkers] = indices[indptr[pos] + offsets]
+    # Walks still alive at max_length count where they stand (bias ≤ (1-α)^L).
+    if alive.any():
+        np.add.at(counts, positions[alive], 1.0)
+    return counts / num_walks

@@ -1,0 +1,23 @@
+"""Benchmark harness: memoised index builders and table reporting."""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    bench_queries,
+    fastppv_index,
+    gpa_index,
+    hgpa_index,
+    jw_index,
+    results_dir,
+    time_queries,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "results_dir",
+    "hgpa_index",
+    "gpa_index",
+    "jw_index",
+    "fastppv_index",
+    "bench_queries",
+    "time_queries",
+]

@@ -1,0 +1,185 @@
+"""Shared flat-hub PPV index: the machinery behind PPV-JW and GPA.
+
+Both algorithms pre-compute, for one global hub set ``H``:
+
+* adjusted hub partial vectors ``P_h = p_h − α·x_h``,
+* skeleton columns ``s_·(h)`` (one vector per hub, value at every node),
+* partial vectors ``p_u`` of every non-hub node,
+
+and answer queries with the hubs theorem (Eq. 4):
+
+    ``r_u = (1/α) Σ_h (s_u(h) − α·f_u(h)) · P_h + p_u``
+
+They differ only in *where the vectors' support lives*: PPV-JW picks hubs by
+PageRank, so partial vectors can span the whole graph; GPA picks hubs as a
+partition separator, which confines every non-hub partial vector to its own
+subgraph — the space win of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.decomposition import as_view, partial_vectors, skeleton_columns
+from repro.core.sparsevec import SparseVec
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import VirtualSubgraph
+
+__all__ = ["QueryStats", "FlatPPVIndex", "DEFAULT_BATCH"]
+
+DEFAULT_BATCH = 256
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one query — the cost-model currency.
+
+    ``entries_processed`` counts every stored vector entry touched by an
+    axpy (the float-op proxy); ``vectors_used`` counts the pre-computed
+    vectors combined; ``skeleton_lookups`` counts hub-weight fetches.
+    """
+
+    entries_processed: int = 0
+    vectors_used: int = 0
+    skeleton_lookups: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        self.entries_processed += other.entries_processed
+        self.vectors_used += other.vectors_used
+        self.skeleton_lookups += other.skeleton_lookups
+
+
+@dataclass
+class FlatPPVIndex:
+    """Pre-computed vectors for a flat hub set (PPV-JW / GPA query side)."""
+
+    graph: DiGraph
+    alpha: float
+    tol: float
+    prune: float
+    hubs: np.ndarray
+    hub_partials: dict[int, SparseVec] = field(default_factory=dict)
+    skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
+    node_partials: dict[int, SparseVec] = field(default_factory=dict)
+    build_cost: dict[tuple, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def is_hub(self, u: int) -> bool:
+        pos = np.searchsorted(self.hubs, u)
+        return bool(pos < self.hubs.size and self.hubs[pos] == u)
+
+    def query(self, u: int) -> np.ndarray:
+        """Exact PPV of node ``u`` (dense)."""
+        vec, _ = self.query_detailed(u)
+        return vec
+
+    def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
+        """PPV of ``u`` plus work counters."""
+        if not 0 <= u < self.graph.num_nodes:
+            raise QueryError(f"query node {u} out of range")
+        acc = np.zeros(self.graph.num_nodes)
+        stats = QueryStats()
+        inv_alpha = 1.0 / self.alpha
+        for h in self.hubs.tolist():
+            weight = self.skeleton_cols[h].get(u)
+            stats.skeleton_lookups += 1
+            if h == u:
+                weight -= self.alpha  # the f_u(h) adjustment of Eq. 4
+            if weight == 0.0:
+                continue
+            part = self.hub_partials[h]
+            part.add_into(acc, weight * inv_alpha)
+            stats.entries_processed += part.nnz
+            stats.vectors_used += 1
+        if self.is_hub(u):
+            own = self.hub_partials[u]
+            own.add_into(acc)  # P_u back to p_u: re-add the α·x_u diagonal
+            acc[u] += self.alpha
+            stats.entries_processed += own.nnz
+        else:
+            own = self.node_partials[u]
+            own.add_into(acc)
+            stats.entries_processed += own.nnz
+        stats.vectors_used += 1
+        return acc, stats
+
+    # ------------------------------------------------------------------
+    def space_report(self) -> dict[str, int]:
+        """Wire bytes of the stored vectors, by category."""
+        return {
+            "hub_partials": sum(v.wire_bytes for v in self.hub_partials.values()),
+            "skeleton": sum(v.wire_bytes for v in self.skeleton_cols.values()),
+            "node_partials": sum(v.wire_bytes for v in self.node_partials.values()),
+        }
+
+    def total_bytes(self) -> int:
+        return sum(self.space_report().values())
+
+    def total_nnz(self) -> int:
+        stores = (self.hub_partials, self.skeleton_cols, self.node_partials)
+        return sum(v.nnz for store in stores for v in store.values())
+
+    # ------------------------------------------------------------------
+    # Build helpers shared with JW/GPA constructors.
+    # ------------------------------------------------------------------
+    def _build_hub_side(self, view: VirtualSubgraph, batch: int) -> None:
+        """Hub partial vectors and skeleton columns on ``view``."""
+        if self.hubs.size == 0:
+            return
+        hub_local = np.asarray(view.to_local(self.hubs), dtype=np.int64)
+        for lo in range(0, self.hubs.size, batch):
+            chunk = slice(lo, min(lo + batch, self.hubs.size))
+            hubs_chunk = self.hubs[chunk]
+            t0 = time.perf_counter()
+            d, _ = partial_vectors(
+                view, hub_local, hub_local[chunk],
+                alpha=self.alpha, tol=self.tol,
+            )
+            per_col = (time.perf_counter() - t0) / max(1, hubs_chunk.size)
+            for j, h in enumerate(hubs_chunk.tolist()):
+                col = d[:, j]
+                local_h = int(hub_local[chunk][j])
+                col[local_h] -= self.alpha  # store the adjusted P_h
+                self.hub_partials[h] = _sparsify(col, view, self.prune)
+                self.build_cost[("hub", h)] = per_col
+            t0 = time.perf_counter()
+            f = skeleton_columns(
+                view, hub_local[chunk], alpha=self.alpha, tol=self.tol
+            )
+            per_col = (time.perf_counter() - t0) / max(1, hubs_chunk.size)
+            for j, h in enumerate(hubs_chunk.tolist()):
+                self.skeleton_cols[h] = _sparsify(f[:, j], view, self.prune)
+                self.build_cost[("skel", h)] = per_col
+
+    def _build_node_partials(
+        self, view: VirtualSubgraph, sources: np.ndarray, hub_local: np.ndarray, batch: int
+    ) -> None:
+        """Partial vectors of (non-hub) ``sources``, confined to ``view``."""
+        src_local = np.asarray(view.to_local(sources), dtype=np.int64)
+        for lo in range(0, sources.size, batch):
+            chunk = slice(lo, min(lo + batch, sources.size))
+            t0 = time.perf_counter()
+            d, _ = partial_vectors(
+                view, hub_local, src_local[chunk],
+                alpha=self.alpha, tol=self.tol,
+            )
+            per_col = (time.perf_counter() - t0) / max(1, sources[chunk].size)
+            for j, u in enumerate(sources[chunk].tolist()):
+                self.node_partials[u] = _sparsify(d[:, j], view, self.prune)
+                self.build_cost[("part", u)] = per_col
+
+
+def _sparsify(local_dense: np.ndarray, view: VirtualSubgraph, prune: float) -> SparseVec:
+    """Local dense column → global-coordinate :class:`SparseVec`."""
+    mask = np.abs(local_dense) > prune
+    local_idx = np.nonzero(mask)[0]
+    return SparseVec(view.nodes[local_idx], local_dense[local_idx], _trusted=True)
+
+
+def full_view(graph: DiGraph) -> VirtualSubgraph:
+    """The whole graph as a view (identity local/global mapping)."""
+    return as_view(graph)

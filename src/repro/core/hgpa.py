@@ -1,0 +1,309 @@
+"""HGPA — the hierarchical graph-partition algorithm (Section 4).
+
+The graph is recursively partitioned into a hub-separated hierarchy.  For
+each internal subgraph ``G`` with hub set ``H(G)`` the index stores
+
+* adjusted partial vectors ``P_h[G]`` of its hubs, computed *inside* the
+  virtual subgraph ``G̃`` (Theorem 2), and
+* skeleton columns ``s_·[G](h)`` — the local PPV value at ``h`` from every
+  node of ``G`` (Eq. 8 run inside ``G̃``);
+
+plus, for every leaf subgraph, the full local PPV of each member.  A query
+walks the chain of subgraphs containing ``u`` and evaluates Eq. 6:
+
+    ``r_u = Σ_m (1/α) Σ_{h∈H(G_m^{(u)})} S_u[G_m](h)·P_h[G_m] + base``
+
+where the base term is the leaf-level local PPV for non-hub nodes, or the
+hub's own (unadjusted) partial vector when ``u`` was selected as a hub.
+``HGPA_ad`` (Section 6.2.9) is the same index built with
+``prune=1e-4`` — offline scores below that threshold are discarded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.decomposition import partial_vectors, skeleton_columns
+from repro.core.flat_index import DEFAULT_BATCH, QueryStats
+from repro.core.sparsevec import SparseVec
+from repro.errors import IndexBuildError, QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import VirtualSubgraph
+from repro.partition.hierarchy import PartitionHierarchy, build_hierarchy
+
+__all__ = ["HGPAIndex", "build_hgpa_index", "build_hgpa_ad_index"]
+
+
+@dataclass
+class HGPAIndex:
+    """Pre-computed hierarchy of partial vectors, skeletons and leaf PPVs.
+
+    All vectors are stored in *global* coordinates.  ``hub_partials[h]`` is
+    the adjusted ``P_h`` within the subgraph whose hub set contains ``h``;
+    ``skeleton_cols[h]`` holds ``s_u[G](h)`` for every ``u`` in that same
+    subgraph; ``leaf_ppv[u]`` is the local PPV of non-hub node ``u`` w.r.t.
+    its leaf subgraph.
+    """
+
+    graph: DiGraph
+    hierarchy: PartitionHierarchy
+    alpha: float
+    tol: float
+    prune: float
+    hub_partials: dict[int, SparseVec] = field(default_factory=dict)
+    skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
+    leaf_ppv: dict[int, SparseVec] = field(default_factory=dict)
+    build_cost: dict[tuple, float] = field(default_factory=dict)
+    _level_ops_cache: dict[int, tuple] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def query(self, u: int) -> np.ndarray:
+        """Exact PPV of node ``u`` (dense), via the vectorised fast path.
+
+        Per hierarchy level this stacks the level's hub partials into one
+        CSC matrix and its skeleton columns into one CSR matrix (cached),
+        so a query is a handful of sparse matrix-vector products instead of
+        per-hub Python loops — the layout an optimised implementation of
+        Algorithm 1 would use.
+        """
+        if not 0 <= u < self.graph.num_nodes:
+            raise QueryError(f"query node {u} out of range")
+        n = self.graph.num_nodes
+        acc = np.zeros(n)
+        chain = self.hierarchy.chain(u)
+        u_is_hub = self.hierarchy.is_hub(u)
+        inv_alpha = 1.0 / self.alpha
+        for sg in chain:
+            if sg.hubs.size == 0:
+                continue
+            part_csc, skel_csr, hubs = self._level_ops(sg.node_id)
+            lo, hi = skel_csr.indptr[u], skel_csr.indptr[u + 1]
+            weights = np.zeros(hubs.size)
+            weights[skel_csr.indices[lo:hi]] = skel_csr.data[lo:hi]
+            own_level = u_is_hub and sg is chain[-1]
+            if own_level:
+                adjusted = weights.copy()
+                pos = int(np.searchsorted(hubs, u))
+                adjusted[pos] -= self.alpha
+                acc += part_csc @ (adjusted * inv_alpha)
+            else:
+                snapshot = acc[hubs].copy()
+                acc += part_csc @ (weights * inv_alpha)
+                acc[hubs] = snapshot + weights  # port repair (see below)
+        if u_is_hub:
+            self.hub_partials[u].add_into(acc)
+            acc[u] += self.alpha
+        else:
+            self.leaf_ppv[u].add_into(acc)
+        return acc
+
+    def _level_ops(self, sid: int) -> tuple:
+        """Cached (stacked hub partials CSC, stacked skeleton CSR, hubs)."""
+        cached = self._level_ops_cache.get(sid)
+        if cached is not None:
+            return cached
+        sg = self.hierarchy.subgraphs[sid]
+        hubs = sg.hubs
+        n = self.graph.num_nodes
+        part_cols = [self.hub_partials[h] for h in hubs.tolist()]
+        part_csc = sp.csc_matrix(
+            (
+                np.concatenate([v.val for v in part_cols]),
+                np.concatenate([v.idx for v in part_cols]),
+                np.concatenate([[0], np.cumsum([v.nnz for v in part_cols])]),
+            ),
+            shape=(n, hubs.size),
+        )
+        skel_cols = [self.skeleton_cols[h] for h in hubs.tolist()]
+        skel_csr = sp.csc_matrix(
+            (
+                np.concatenate([v.val for v in skel_cols]),
+                np.concatenate([v.idx for v in skel_cols]),
+                np.concatenate([[0], np.cumsum([v.nnz for v in skel_cols])]),
+            ),
+            shape=(n, hubs.size),
+        ).tocsr()
+        ops = (part_csc, skel_csr, hubs)
+        self._level_ops_cache[sid] = ops
+        return ops
+
+    def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
+        """PPV of ``u`` plus work counters (Eq. 6 evaluation).
+
+        For every level above ``u``'s own, the recursion substitutes the
+        next level's local PPV for the true partial vector, which omits the
+        first-passage ("port") mass deposited *at* that level's hubs.  The
+        algebra of the hubs theorem gives the exact repair: the level term
+        evaluated at its own hub coordinates must equal the local skeleton
+        values ``s_u[G_m](ĥ)``, so those coordinates are overwritten.
+        """
+        if not 0 <= u < self.graph.num_nodes:
+            raise QueryError(f"query node {u} out of range")
+        acc = np.zeros(self.graph.num_nodes)
+        stats = QueryStats()
+        inv_alpha = 1.0 / self.alpha
+        chain = self.hierarchy.chain(u)
+        u_is_hub = self.hierarchy.is_hub(u)
+        for sg in chain:
+            if sg.hubs.size == 0:
+                continue
+            own_level = u_is_hub and sg is chain[-1]
+            hubs = sg.hubs.tolist()
+            skel_vals = np.asarray(
+                [self.skeleton_cols[h].get(u) for h in hubs]
+            )
+            stats.skeleton_lookups += len(hubs)
+            if not own_level:
+                snapshot = acc[sg.hubs].copy()
+            for pos, h in enumerate(hubs):
+                weight = float(skel_vals[pos])
+                if h == u:
+                    weight -= self.alpha
+                if weight == 0.0:
+                    continue
+                part = self.hub_partials[h]
+                part.add_into(acc, weight * inv_alpha)
+                stats.entries_processed += part.nnz
+                stats.vectors_used += 1
+            if not own_level:
+                # Port repair: this level contributes exactly s_u[G_m](ĥ)
+                # at its own hub coordinates.
+                acc[sg.hubs] = snapshot + skel_vals
+        if u_is_hub:
+            own = self.hub_partials[u]
+            own.add_into(acc)
+            acc[u] += self.alpha  # un-adjust P_u back to p_u
+            stats.entries_processed += own.nnz
+        else:
+            own = self.leaf_ppv[u]
+            own.add_into(acc)
+            stats.entries_processed += own.nnz
+        stats.vectors_used += 1
+        return acc, stats
+
+    # ------------------------------------------------------------------
+    def space_report(self) -> dict[str, int]:
+        """Wire bytes of the stored vectors, by category."""
+        return {
+            "hub_partials": sum(v.wire_bytes for v in self.hub_partials.values()),
+            "skeleton": sum(v.wire_bytes for v in self.skeleton_cols.values()),
+            "leaf_ppv": sum(v.wire_bytes for v in self.leaf_ppv.values()),
+        }
+
+    def total_bytes(self) -> int:
+        return sum(self.space_report().values())
+
+    def total_nnz(self) -> int:
+        stores = (self.hub_partials, self.skeleton_cols, self.leaf_ppv)
+        return sum(v.nnz for store in stores for v in store.values())
+
+    def offline_seconds(self) -> float:
+        """Total measured pre-computation work (all tasks, one machine)."""
+        return float(sum(self.build_cost.values()))
+
+
+def build_hgpa_index(
+    graph: DiGraph,
+    *,
+    hierarchy: PartitionHierarchy | None = None,
+    fanout: int = 2,
+    max_levels: int | None = None,
+    alpha: float = 0.15,
+    tol: float = 1e-4,
+    prune: float | None = None,
+    balance: float = 0.1,
+    seed: int = 0,
+    cover_method: str = "auto",
+    batch: int = DEFAULT_BATCH,
+) -> HGPAIndex:
+    """Pre-compute the full HGPA index.
+
+    A pre-built :class:`PartitionHierarchy` may be supplied; otherwise one
+    is constructed with the given ``fanout``/``max_levels``.  ``prune``
+    defaults to ``tol`` (entries below the iteration tolerance carry no
+    information); ``HGPA_ad`` uses ``prune=1e-4`` regardless of ``tol``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise IndexBuildError(f"alpha must be in (0, 1), got {alpha}")
+    if hierarchy is None:
+        hierarchy = build_hierarchy(
+            graph,
+            fanout=fanout,
+            max_levels=max_levels,
+            balance=balance,
+            seed=seed,
+            cover_method=cover_method,
+        )
+    index = HGPAIndex(
+        graph=graph,
+        hierarchy=hierarchy,
+        alpha=alpha,
+        tol=tol,
+        prune=tol if prune is None else prune,
+    )
+    for sg in hierarchy.subgraphs:
+        if sg.hubs.size:
+            view = hierarchy.view(sg.node_id)
+            _build_subgraph_hub_side(index, view, sg.hubs, batch)
+        if sg.is_leaf and sg.num_nodes:
+            view = hierarchy.view(sg.node_id)
+            _build_leaf_ppvs(index, view, sg.nodes, batch)
+    return index
+
+
+def build_hgpa_ad_index(graph: DiGraph, **kwargs) -> HGPAIndex:
+    """HGPA_ad — HGPA with offline scores below ``1e-4`` discarded."""
+    kwargs.setdefault("prune", 1e-4)
+    return build_hgpa_index(graph, **kwargs)
+
+
+def _sparsify(col: np.ndarray, view: VirtualSubgraph, prune: float) -> SparseVec:
+    mask = np.abs(col) > prune
+    local_idx = np.nonzero(mask)[0]
+    return SparseVec(view.nodes[local_idx], col[local_idx], _trusted=True)
+
+
+def _build_subgraph_hub_side(
+    index: HGPAIndex, view: VirtualSubgraph, hubs: np.ndarray, batch: int
+) -> None:
+    hub_local = np.asarray(view.to_local(hubs), dtype=np.int64)
+    for lo in range(0, hubs.size, batch):
+        sl = slice(lo, min(lo + batch, hubs.size))
+        chunk = hubs[sl]
+        t0 = time.perf_counter()
+        d, _ = partial_vectors(
+            view, hub_local, hub_local[sl], alpha=index.alpha, tol=index.tol
+        )
+        per_col = (time.perf_counter() - t0) / max(1, chunk.size)
+        for j, h in enumerate(chunk.tolist()):
+            col = d[:, j]
+            col[int(hub_local[sl][j])] -= index.alpha  # adjusted P_h
+            index.hub_partials[h] = _sparsify(col, view, index.prune)
+            index.build_cost[("hub", h)] = per_col
+        t0 = time.perf_counter()
+        f = skeleton_columns(view, hub_local[sl], alpha=index.alpha, tol=index.tol)
+        per_col = (time.perf_counter() - t0) / max(1, chunk.size)
+        for j, h in enumerate(chunk.tolist()):
+            index.skeleton_cols[h] = _sparsify(f[:, j], view, index.prune)
+            index.build_cost[("skel", h)] = per_col
+
+
+def _build_leaf_ppvs(
+    index: HGPAIndex, view: VirtualSubgraph, nodes: np.ndarray, batch: int
+) -> None:
+    empty = np.empty(0, dtype=np.int64)
+    src_local = np.asarray(view.to_local(nodes), dtype=np.int64)
+    for lo in range(0, nodes.size, batch):
+        sl = slice(lo, min(lo + batch, nodes.size))
+        t0 = time.perf_counter()
+        d, _ = partial_vectors(
+            view, empty, src_local[sl], alpha=index.alpha, tol=index.tol
+        )
+        per_col = (time.perf_counter() - t0) / max(1, nodes[sl].size)
+        for j, u in enumerate(nodes[sl].tolist()):
+            index.leaf_ppv[u] = _sparsify(d[:, j], view, index.prune)
+            index.build_cost[("leaf", u)] = per_col

@@ -1,0 +1,48 @@
+"""The linearity property of PPVs (Jeh–Widom [25], used in Section 1).
+
+For a weighted preference set ``P`` with normalised weights ``w``, the PPV
+is the weighted sum of single-node PPVs::
+
+    r_P = Σ_{u ∈ P} w_u · r_u
+
+so any index answering single-node queries answers arbitrary preference-set
+queries — the capability PPV-JW restricted to hub nodes and this paper
+restores for every node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["ppv_for_preference_set", "normalize_preference"]
+
+
+def normalize_preference(preference: Mapping[int, float]) -> dict[int, float]:
+    """Validate and normalise preference weights to sum to one."""
+    if not preference:
+        raise QueryError("preference set must not be empty")
+    total = float(sum(preference.values()))
+    if total <= 0:
+        raise QueryError("preference weights must sum to a positive value")
+    for node, weight in preference.items():
+        if weight < 0:
+            raise QueryError(f"negative preference weight for node {node}")
+    return {int(u): float(w) / total for u, w in preference.items() if w > 0}
+
+
+def ppv_for_preference_set(
+    query_fn: Callable[[int], np.ndarray],
+    preference: Mapping[int, float],
+) -> np.ndarray:
+    """Combine single-node PPVs from ``query_fn`` by linearity."""
+    weights = normalize_preference(preference)
+    acc: np.ndarray | None = None
+    for node, weight in weights.items():
+        vec = query_fn(node)
+        acc = weight * vec if acc is None else acc + weight * vec
+    assert acc is not None  # normalize_preference guarantees non-empty
+    return acc

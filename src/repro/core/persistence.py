@@ -1,0 +1,152 @@
+"""Persist and reload HGPA indexes.
+
+The paper's workflow is offline pre-computation followed by online serving;
+that split needs the index to survive a process restart.  This module
+stores everything — graph CSR, the partition hierarchy, every pre-computed
+vector and its build cost — in a single compressed ``.npz`` archive using
+flat concatenated arrays (no pickling, loadable anywhere numpy runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.hgpa import HGPAIndex
+from repro.core.sparsevec import SparseVec
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.partition.hierarchy import PartitionHierarchy, SubgraphNode
+
+__all__ = ["save_hgpa_index", "load_hgpa_index"]
+
+_FORMAT_VERSION = 1
+
+
+def _pack_store(
+    store: dict[int, SparseVec], costs: dict[tuple, float], kind: str
+) -> dict[str, np.ndarray]:
+    keys = np.asarray(sorted(store), dtype=np.int64)
+    vecs = [store[int(k)] for k in keys]
+    nnzs = np.asarray([v.nnz for v in vecs], dtype=np.int64)
+    idx = (
+        np.concatenate([v.idx for v in vecs]) if vecs else np.empty(0, dtype=np.int64)
+    )
+    val = np.concatenate([v.val for v in vecs]) if vecs else np.empty(0)
+    cost = np.asarray([costs.get((kind, int(k)), 0.0) for k in keys])
+    return {
+        f"{kind}_keys": keys,
+        f"{kind}_nnz": nnzs,
+        f"{kind}_idx": idx,
+        f"{kind}_val": val,
+        f"{kind}_cost": cost,
+    }
+
+
+def _unpack_store(
+    data, kind: str, store: dict[int, SparseVec], costs: dict[tuple, float]
+) -> None:
+    keys = data[f"{kind}_keys"]
+    nnzs = data[f"{kind}_nnz"]
+    idx = data[f"{kind}_idx"]
+    val = data[f"{kind}_val"]
+    cost = data[f"{kind}_cost"]
+    offsets = np.zeros(keys.size + 1, dtype=np.int64)
+    np.cumsum(nnzs, out=offsets[1:])
+    for j, key in enumerate(keys.tolist()):
+        lo, hi = offsets[j], offsets[j + 1]
+        store[int(key)] = SparseVec(idx[lo:hi].copy(), val[lo:hi].copy(), _trusted=True)
+        costs[(kind, int(key))] = float(cost[j])
+
+
+def save_hgpa_index(index: HGPAIndex, path: str | os.PathLike) -> None:
+    """Write the full index (graph + hierarchy + vectors) to ``path``."""
+    h = index.hierarchy
+    nodes_concat = (
+        np.concatenate([sg.nodes for sg in h.subgraphs])
+        if h.subgraphs
+        else np.empty(0, dtype=np.int64)
+    )
+    hubs_concat = (
+        np.concatenate([sg.hubs for sg in h.subgraphs])
+        if h.subgraphs
+        else np.empty(0, dtype=np.int64)
+    )
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.asarray([_FORMAT_VERSION]),
+        "alpha": np.asarray([index.alpha]),
+        "tol": np.asarray([index.tol]),
+        "prune": np.asarray([index.prune]),
+        "fanout": np.asarray([h.fanout]),
+        "graph_indptr": index.graph.indptr,
+        "graph_indices": index.graph.indices,
+        "graph_name": np.array(index.graph.name),
+        "sub_levels": np.asarray([sg.level for sg in h.subgraphs], dtype=np.int64),
+        "sub_parents": np.asarray(
+            [-1 if sg.parent is None else sg.parent for sg in h.subgraphs],
+            dtype=np.int64,
+        ),
+        "sub_node_counts": np.asarray(
+            [sg.nodes.size for sg in h.subgraphs], dtype=np.int64
+        ),
+        "sub_hub_counts": np.asarray(
+            [sg.hubs.size for sg in h.subgraphs], dtype=np.int64
+        ),
+        "sub_nodes": nodes_concat,
+        "sub_hubs": hubs_concat,
+    }
+    payload.update(_pack_store(index.hub_partials, index.build_cost, "hub"))
+    payload.update(_pack_store(index.skeleton_cols, index.build_cost, "skel"))
+    payload.update(_pack_store(index.leaf_ppv, index.build_cost, "leaf"))
+    np.savez_compressed(path, **payload)
+
+
+def load_hgpa_index(path: str | os.PathLike) -> HGPAIndex:
+    """Reload an index written by :func:`save_hgpa_index`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "format_version" not in data:
+            raise SerializationError(f"{path}: not a repro index archive")
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise SerializationError(
+                f"{path}: unsupported index format {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        graph = DiGraph(
+            data["graph_indptr"], data["graph_indices"], name=str(data["graph_name"])
+        )
+        levels = data["sub_levels"]
+        parents = data["sub_parents"]
+        node_counts = data["sub_node_counts"]
+        hub_counts = data["sub_hub_counts"]
+        node_off = np.zeros(levels.size + 1, dtype=np.int64)
+        np.cumsum(node_counts, out=node_off[1:])
+        hub_off = np.zeros(levels.size + 1, dtype=np.int64)
+        np.cumsum(hub_counts, out=hub_off[1:])
+        subgraphs: list[SubgraphNode] = []
+        for i in range(levels.size):
+            subgraphs.append(
+                SubgraphNode(
+                    node_id=i,
+                    level=int(levels[i]),
+                    nodes=data["sub_nodes"][node_off[i] : node_off[i + 1]].copy(),
+                    parent=None if parents[i] < 0 else int(parents[i]),
+                    hubs=data["sub_hubs"][hub_off[i] : hub_off[i + 1]].copy(),
+                )
+            )
+        for sg in subgraphs:
+            if sg.parent is not None:
+                subgraphs[sg.parent].children.append(sg.node_id)
+        hierarchy = PartitionHierarchy(graph, subgraphs, int(data["fanout"][0]))
+        index = HGPAIndex(
+            graph=graph,
+            hierarchy=hierarchy,
+            alpha=float(data["alpha"][0]),
+            tol=float(data["tol"][0]),
+            prune=float(data["prune"][0]),
+        )
+        _unpack_store(data, "hub", index.hub_partials, index.build_cost)
+        _unpack_store(data, "skel", index.skeleton_cols, index.build_cost)
+        _unpack_store(data, "leaf", index.leaf_ppv, index.build_cost)
+        return index

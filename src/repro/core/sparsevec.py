@@ -1,0 +1,159 @@
+"""Sparse vector type used for every pre-computed and transmitted PPV piece.
+
+Partial vectors, skeleton columns and leaf-level PPVs are sparse by
+construction (tours are blocked by hubs, so most entries are zero); queries
+accumulate them into a dense buffer.  The wire size of a vector — what a
+machine ships to the coordinator — is ``16 + 12·nnz`` bytes (header plus
+int32 index and float64 value per entry), which is what all communication
+accounting in :mod:`repro.distributed` is based on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+__all__ = ["SparseVec", "WIRE_HEADER_BYTES", "WIRE_ENTRY_BYTES"]
+
+WIRE_HEADER_BYTES = 16
+WIRE_ENTRY_BYTES = 12  # int32 index + float64 value
+
+
+class SparseVec:
+    """Immutable sparse vector: sorted unique indices + nonzero values."""
+
+    __slots__ = ("idx", "val")
+
+    def __init__(self, idx: np.ndarray, val: np.ndarray, *, _trusted: bool = False):
+        if _trusted:
+            self.idx = idx
+            self.val = val
+            return
+        idx = np.asarray(idx, dtype=np.int64)
+        val = np.asarray(val, dtype=np.float64)
+        if idx.shape != val.shape or idx.ndim != 1:
+            raise SerializationError("idx and val must be 1-D arrays of equal length")
+        order = np.argsort(idx, kind="stable")
+        idx, val = idx[order], val[order]
+        if idx.size and np.any(idx[1:] == idx[:-1]):
+            # Collapse duplicates by summation.
+            uniq, inverse = np.unique(idx, return_inverse=True)
+            summed = np.zeros(uniq.size)
+            np.add.at(summed, inverse, val)
+            idx, val = uniq, summed
+        keep = val != 0.0
+        self.idx = idx[keep]
+        self.val = val[keep]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "SparseVec":
+        return cls(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), _trusted=True
+        )
+
+    @classmethod
+    def from_dense(cls, arr: np.ndarray, *, prune: float = 0.0) -> "SparseVec":
+        """Sparsify a dense array, dropping entries with ``|x| <= prune``."""
+        arr = np.asarray(arr, dtype=np.float64)
+        mask = np.abs(arr) > prune
+        idx = np.nonzero(mask)[0].astype(np.int64)
+        return cls(idx, arr[idx].copy(), _trusted=True)
+
+    @classmethod
+    def one_hot(cls, index: int, value: float = 1.0) -> "SparseVec":
+        """The basic vector ``value · x_index``."""
+        return cls(
+            np.asarray([index], dtype=np.int64),
+            np.asarray([value], dtype=np.float64),
+            _trusted=True,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.idx.size)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Serialized size in bytes (communication-cost accounting)."""
+        return WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES * self.nnz
+
+    def get(self, i: int) -> float:
+        """Value at index ``i`` (0.0 when absent)."""
+        pos = np.searchsorted(self.idx, i)
+        if pos < self.idx.size and self.idx[pos] == i:
+            return float(self.val[pos])
+        return 0.0
+
+    def sum(self) -> float:
+        return float(self.val.sum())
+
+    def to_dense(self, n: int) -> np.ndarray:
+        out = np.zeros(n)
+        out[self.idx] = self.val
+        return out
+
+    def add_into(self, dense: np.ndarray, scale: float = 1.0) -> None:
+        """``dense[idx] += scale * val`` — the query-time axpy.
+
+        Fancy-index ``+=`` is safe (and ~10x faster than ``np.add.at``)
+        because indices are unique by construction.
+        """
+        if scale == 1.0:
+            dense[self.idx] += self.val
+        else:
+            dense[self.idx] += scale * self.val
+
+    def pruned(self, eps: float) -> "SparseVec":
+        """Copy without entries of magnitude ``<= eps``."""
+        keep = np.abs(self.val) > eps
+        return SparseVec(self.idx[keep], self.val[keep], _trusted=True)
+
+    def scaled(self, factor: float) -> "SparseVec":
+        return SparseVec(self.idx, self.val * factor, _trusted=True)
+
+    def __add__(self, other: "SparseVec") -> "SparseVec":
+        return SparseVec(
+            np.concatenate([self.idx, other.idx]),
+            np.concatenate([self.val, other.val]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVec):
+            return NotImplemented
+        return np.array_equal(self.idx, other.idx) and np.array_equal(
+            self.val, other.val
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((self.nnz, float(self.val.sum()) if self.nnz else 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SparseVec nnz={self.nnz} sum={self.sum():.4g}>"
+
+    # ------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        """Serialize to the wire format used between machines."""
+        head = np.asarray([self.nnz, 0], dtype=np.int64).tobytes()
+        return head + self.idx.astype(np.int32).tobytes() + self.val.tobytes()
+
+    @classmethod
+    def from_wire(cls, payload: bytes) -> "SparseVec":
+        """Decode a payload produced by :meth:`to_wire`."""
+        if len(payload) < WIRE_HEADER_BYTES:
+            raise SerializationError("payload shorter than header")
+        nnz = int(np.frombuffer(payload[:8], dtype=np.int64)[0])
+        expect = WIRE_HEADER_BYTES + nnz * WIRE_ENTRY_BYTES
+        if len(payload) != expect:
+            raise SerializationError(
+                f"payload length {len(payload)} != expected {expect}"
+            )
+        idx = np.frombuffer(
+            payload, dtype=np.int32, count=nnz, offset=WIRE_HEADER_BYTES
+        ).astype(np.int64)
+        val = np.frombuffer(
+            payload, dtype=np.float64, count=nnz, offset=WIRE_HEADER_BYTES + 4 * nnz
+        ).copy()
+        return cls(idx, val, _trusted=True)

@@ -1,0 +1,19 @@
+"""Dataset stand-ins for the paper's evaluation graphs."""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    dataset_names,
+    load,
+    query_nodes,
+    scale_factor,
+    spec,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_names",
+    "load",
+    "query_nodes",
+    "scale_factor",
+    "spec",
+]

@@ -1,0 +1,24 @@
+"""Simulated coordinator-based share-nothing cluster and the distributed
+GPA/HGPA runtimes."""
+
+from repro.distributed.cluster import ClusterBase, QueryReport
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.gpa_runtime import DistributedGPA
+from repro.distributed.hgpa_runtime import DistributedHGPA
+from repro.distributed.machine import Machine
+from repro.distributed.network import DEFAULT_COST_MODEL, CostModel, NetworkMeter
+from repro.distributed.precompute import PrecomputeReport, precompute_report
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "NetworkMeter",
+    "Machine",
+    "Coordinator",
+    "ClusterBase",
+    "QueryReport",
+    "DistributedGPA",
+    "DistributedHGPA",
+    "PrecomputeReport",
+    "precompute_report",
+]

@@ -1,0 +1,122 @@
+"""Cluster plumbing shared by the distributed GPA and HGPA runtimes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sparsevec import SparseVec
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.machine import Machine
+from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
+from repro.errors import ClusterError
+
+__all__ = ["QueryReport", "ClusterBase"]
+
+
+@dataclass
+class QueryReport:
+    """Everything the paper measures about one distributed query.
+
+    ``runtime_seconds`` follows the paper's metric (Section 6.2.2: "the
+    maximum runtime across all machines"): the slowest machine's compute
+    plus the shipping of its own vector.  Coordinator aggregation is *not*
+    part of it — communication cost is the separate metric of Figure 13.
+    ``wall_seconds`` is the measured time of the same work executed
+    serially (max machine segment + aggregation).  ``communication_bytes``
+    counts every byte that crossed the simulated network for this query.
+    """
+
+    query: int
+    runtime_seconds: float
+    wall_seconds: float
+    per_machine_entries: list[int]
+    per_machine_bytes: list[int]
+    communication_bytes: int
+
+    @property
+    def communication_kb(self) -> float:
+        return self.communication_bytes / 1024.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of per-machine entries (1.0 = perfectly balanced)."""
+        entries = [e for e in self.per_machine_entries]
+        mean = sum(entries) / max(1, len(entries))
+        return (max(entries) / mean) if mean > 0 else 1.0
+
+
+@dataclass
+class ClusterBase:
+    """Machines + coordinator + cost model, with deployment-wide metrics."""
+
+    num_nodes: int
+    machines: list[Machine] = field(default_factory=list)
+    coordinator: Coordinator | None = None
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+    def init_cluster(self, num_machines: int) -> None:
+        if num_machines < 1:
+            raise ClusterError("need at least one machine")
+        self.machines = [Machine(machine_id=i) for i in range(num_machines)]
+        self.coordinator = Coordinator(num_nodes=self.num_nodes)
+
+    # ----- deployment-wide metrics (Figs. 11 and 12) -------------------
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    def max_machine_bytes(self) -> int:
+        """Maximum per-machine storage — the paper's space metric."""
+        return max(m.stored_bytes for m in self.machines)
+
+    def total_stored_bytes(self) -> int:
+        return sum(m.stored_bytes for m in self.machines)
+
+    def offline_makespan_seconds(self) -> float:
+        """Pre-computation time = slowest machine's share of build work."""
+        return max(m.offline_seconds for m in self.machines)
+
+    def offline_total_seconds(self) -> float:
+        return sum(m.offline_seconds for m in self.machines)
+
+    # ----- query-side helper -------------------------------------------
+    def _finish_query(
+        self,
+        query: int,
+        partials: dict[int, np.ndarray],
+        machine_walls: dict[int, float],
+    ) -> tuple[np.ndarray, QueryReport]:
+        """Serialize per-machine partial vectors, aggregate, build a report."""
+        assert self.coordinator is not None
+        payloads: dict[int, bytes] = {}
+        per_bytes: list[int] = []
+        for mid, acc in sorted(partials.items()):
+            payload = SparseVec.from_dense(acc).to_wire()
+            payloads[mid] = payload
+            per_bytes.append(len(payload))
+        before = self.coordinator.meter.total_bytes
+        self.coordinator.broadcast_query(query, [m.machine_id for m in self.machines])
+        t0 = time.perf_counter()
+        result = self.coordinator.aggregate(payloads)
+        agg_wall = time.perf_counter() - t0
+        comm_bytes = self.coordinator.meter.total_bytes - before
+        per_entries = [m.query_entries for m in self.machines]
+        # Paper metric: max over machines of (combine work + ship own vector).
+        runtime = max(
+            self.cost_model.compute_seconds(entries)
+            + self.cost_model.transfer_seconds(nbytes, 1)
+            for entries, nbytes in zip(per_entries, per_bytes)
+        )
+        wall = max(machine_walls.values()) + agg_wall if machine_walls else agg_wall
+        report = QueryReport(
+            query=query,
+            runtime_seconds=runtime,
+            wall_seconds=wall,
+            per_machine_entries=per_entries,
+            per_machine_bytes=per_bytes,
+            communication_bytes=comm_bytes,
+        )
+        return result, report

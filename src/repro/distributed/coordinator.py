@@ -1,0 +1,41 @@
+"""The coordinator: receives one vector per machine and sums them.
+
+This is the entire query-time protocol of GPA/HGPA (Sections 3.1 and 4.4):
+the coordinator broadcasts the query node (a few bytes), every machine
+answers with a single sparse vector, and the final PPV is their sum — one
+round of communication, bounded by ``O(n·|V|)`` (Theorem 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sparsevec import SparseVec
+from repro.distributed.network import NetworkMeter
+
+__all__ = ["Coordinator"]
+
+QUERY_BROADCAST_BYTES = 8  # the node id sent to each machine
+
+
+@dataclass
+class Coordinator:
+    """Aggregates per-machine vectors and meters the traffic."""
+
+    num_nodes: int
+    meter: NetworkMeter = field(default_factory=NetworkMeter)
+
+    def broadcast_query(self, query: int, machine_ids: list[int]) -> None:
+        """Account the (tiny) query broadcast to every machine."""
+        for mid in machine_ids:
+            self.meter.record("coordinator", f"machine-{mid}", QUERY_BROADCAST_BYTES)
+
+    def aggregate(self, payloads: dict[int, bytes]) -> np.ndarray:
+        """Decode one wire payload per machine and sum them."""
+        acc = np.zeros(self.num_nodes)
+        for mid, payload in payloads.items():
+            self.meter.record(f"machine-{mid}", "coordinator", len(payload))
+            SparseVec.from_wire(payload).add_into(acc)
+        return acc

@@ -1,0 +1,131 @@
+"""Distributed HGPA (Section 4.4, Algorithm 1).
+
+Deployment follows the paper's hub-distributed layout: for *every* subgraph
+in *every* level, its hub list is split round-robin across the ``s``
+machines, and the machine that receives hub ``h`` stores both the adjusted
+partial vector ``P_h`` and the entire skeleton column ``s_·(h)`` — so every
+hub-weight lookup at query time is machine-local.  Leaf-level PPVs are
+likewise spread round-robin by node.  A query is answered with exactly one
+vector from each machine to the coordinator (Theorem 4: ``O(n·|V|)``
+communication).
+
+The port repair of the centralized query (see
+:meth:`repro.core.hgpa.HGPAIndex.query_detailed`) distributes cleanly:
+each machine zeroes its *own* level-term contribution at that level's hub
+coordinates, and the owner of hub ``ĥ`` contributes the skeleton value
+``s_u(ĥ)`` there instead — summing to the exact overwrite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.hgpa import HGPAIndex
+from repro.distributed.cluster import ClusterBase, QueryReport
+from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
+from repro.errors import ClusterError, QueryError
+
+__all__ = ["DistributedHGPA"]
+
+
+class DistributedHGPA(ClusterBase):
+    """HGPA index deployed over a simulated share-nothing cluster."""
+
+    def __init__(
+        self,
+        index: HGPAIndex,
+        num_machines: int,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ):
+        super().__init__(num_nodes=index.graph.num_nodes, cost_model=cost_model)
+        self.index = index
+        self.init_cluster(num_machines)
+        self._hub_owner: dict[int, int] = {}
+        self._leaf_owner: dict[int, int] = {}
+        self._deploy()
+
+    # ------------------------------------------------------------------
+    def _deploy(self) -> None:
+        index, n = self.index, self.num_machines
+        for sg in index.hierarchy.subgraphs:
+            for i, h in enumerate(sg.hubs.tolist()):
+                machine = self.machines[i % n]
+                machine.put(
+                    ("hub", h),
+                    index.hub_partials[h],
+                    build_seconds=index.build_cost.get(("hub", h), 0.0),
+                )
+                machine.put(
+                    ("skel", h),
+                    index.skeleton_cols[h],
+                    build_seconds=index.build_cost.get(("skel", h), 0.0),
+                )
+                self._hub_owner[h] = machine.machine_id
+        for i, u in enumerate(sorted(index.leaf_ppv)):
+            machine = self.machines[i % n]
+            machine.put(
+                ("leaf", u),
+                index.leaf_ppv[u],
+                build_seconds=index.build_cost.get(("leaf", u), 0.0),
+            )
+            self._leaf_owner[u] = machine.machine_id
+
+    # ------------------------------------------------------------------
+    def query(self, u: int) -> tuple[np.ndarray, QueryReport]:
+        """Distributed PPV of ``u`` plus the paper's per-query metrics."""
+        index = self.index
+        if not 0 <= u < index.graph.num_nodes:
+            raise QueryError(f"query node {u} out of range")
+        chain = index.hierarchy.chain(u)
+        u_is_hub = index.hierarchy.is_hub(u)
+        alpha = index.alpha
+        partials: dict[int, np.ndarray] = {}
+        walls: dict[int, float] = {}
+        for machine in self.machines:
+            machine.reset_query_counters()
+            t0 = time.perf_counter()
+            acc = np.zeros(self.num_nodes)
+            for sg in chain:
+                if sg.hubs.size == 0:
+                    continue
+                own_level = u_is_hub and sg is chain[-1]
+                if not own_level:
+                    snapshot = acc[sg.hubs].copy()
+                for h in sg.hubs.tolist():
+                    if self._hub_owner[h] != machine.machine_id:
+                        continue
+                    weight = machine.get(("skel", h)).get(u)
+                    if h == u:
+                        weight -= alpha
+                    if weight != 0.0:
+                        machine.accumulate(acc, ("hub", h), weight / alpha)
+                if not own_level:
+                    # Zero this machine's own level term at the level's hub
+                    # coordinates; the owners re-add the skeleton values.
+                    acc[sg.hubs] = snapshot
+                    for h in sg.hubs.tolist():
+                        if self._hub_owner[h] == machine.machine_id:
+                            acc[h] += machine.get(("skel", h)).get(u)
+            if u_is_hub:
+                if self._hub_owner[u] == machine.machine_id:
+                    machine.accumulate(acc, ("hub", u))
+                    acc[u] += alpha
+            elif self._leaf_owner.get(u) == machine.machine_id:
+                machine.accumulate(acc, ("leaf", u))
+            machine.query_seconds = time.perf_counter() - t0
+            walls[machine.machine_id] = machine.query_seconds
+            partials[machine.machine_id] = acc
+        return self._finish_query(u, partials, walls)
+
+    # ------------------------------------------------------------------
+    def validate_deployment(self) -> None:
+        """Every hub and leaf vector placed exactly once."""
+        hubs = set(self.index.hub_partials)
+        if set(self._hub_owner) != hubs:
+            raise ClusterError("hub ownership incomplete")
+        leaves = set(self.index.leaf_ppv)
+        if set(self._leaf_owner) != leaves:
+            raise ClusterError("leaf ownership incomplete")

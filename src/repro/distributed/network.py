@@ -1,0 +1,76 @@
+"""Cost model and byte accounting for the simulated share-nothing cluster.
+
+The paper's cluster is ten 2.7 GHz machines on a 100 Mb switch.  Our cluster
+is simulated, so all claims are made on deterministic *counts* — vector
+entries processed (the float-op proxy) and bytes on the wire — which a
+:class:`CostModel` converts to seconds for reporting.  The defaults are
+calibrated to commodity-hardware magnitudes: entry throughput of a few
+hundred M float-ops/s and the paper's 100 Mb/s switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "NetworkMeter", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Convert work/byte counters into simulated seconds.
+
+    Scale note: the stand-in graphs are ~200x smaller than the paper's, so
+    per-machine runtime is dominated by shipping the machine's own result
+    vector rather than by combining entries; both components still shrink
+    as machines are added, preserving Figure 10's halving shape.  All raw
+    counters (entries, bytes) are reported alongside modeled times, so any
+    other calibration is a constant rescale.
+    """
+
+    entries_per_second: float = 2.0e8
+    """Stored-vector entries a machine combines per second (axpy rate)."""
+
+    bandwidth_bytes_per_second: float = 100e6 / 8
+    """Switch bandwidth — the paper's 100 Mb TP-LINK ⇒ 12.5 MB/s."""
+
+    latency_seconds: float = 5.0e-4
+    """Per-message fixed cost (serialisation + switch round trip)."""
+
+    def compute_seconds(self, entries: int | float) -> float:
+        """Time for a machine to process ``entries`` vector entries."""
+        return float(entries) / self.entries_per_second
+
+    def transfer_seconds(self, num_bytes: int | float, messages: int = 1) -> float:
+        """Time to move ``num_bytes`` in ``messages`` messages."""
+        return float(num_bytes) / self.bandwidth_bytes_per_second + (
+            self.latency_seconds * max(0, messages)
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass
+class NetworkMeter:
+    """Accumulates wire traffic, by (sender, receiver) pair."""
+
+    total_bytes: int = 0
+    total_messages: int = 0
+    by_link: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, sender: str, receiver: str, num_bytes: int) -> None:
+        """Account one message of ``num_bytes`` from sender to receiver."""
+        self.total_bytes += int(num_bytes)
+        self.total_messages += 1
+        key = (sender, receiver)
+        self.by_link[key] = self.by_link.get(key, 0) + int(num_bytes)
+
+    def reset(self) -> None:
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.by_link.clear()
+
+    @property
+    def total_kilobytes(self) -> float:
+        """Traffic in KB — the unit of the paper's communication figures."""
+        return self.total_bytes / 1024.0

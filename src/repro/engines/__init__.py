@@ -1,0 +1,17 @@
+"""General distributed graph-processing baselines (Pregel+, Blogel)."""
+
+from repro.engines.base import (
+    EngineReport,
+    cross_machine_message_counts,
+    hash_machine_assignment,
+)
+from repro.engines.blogel import BlogelPPR
+from repro.engines.pregel import PregelPPR
+
+__all__ = [
+    "EngineReport",
+    "hash_machine_assignment",
+    "cross_machine_message_counts",
+    "PregelPPR",
+    "BlogelPPR",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while programming errors (``TypeError`` et al.) still
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid node references."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partitioning request cannot be satisfied."""
+
+
+class IndexBuildError(ReproError):
+    """Raised when pre-computation of a PPV index fails."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid PPV queries (unknown node, empty preference set)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver exceeds its iteration budget."""
+
+
+class ClusterError(ReproError):
+    """Raised for invalid simulated-cluster configurations or protocols."""
+
+
+class SerializationError(ReproError):
+    """Raised when a wire payload cannot be encoded or decoded."""

@@ -1,0 +1,47 @@
+"""Graph substrate: CSR digraphs, virtual subgraphs, generators, I/O."""
+
+from repro.graph.analysis import (
+    DegreeStats,
+    degree_stats,
+    is_vertex_separator,
+    num_weakly_connected_components,
+    pagerank,
+    top_pagerank_nodes,
+    weakly_connected_components,
+)
+from repro.graph.digraph import DiGraph, build_csr
+from repro.graph.generators import (
+    complete_digraph,
+    erdos_renyi_digraph,
+    hierarchical_community_digraph,
+    meetup_like_digraph,
+    preferential_attachment_digraph,
+    ring_digraph,
+    star_digraph,
+)
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graph.subgraph import VirtualSubgraph
+
+__all__ = [
+    "DiGraph",
+    "VirtualSubgraph",
+    "build_csr",
+    "pagerank",
+    "top_pagerank_nodes",
+    "weakly_connected_components",
+    "num_weakly_connected_components",
+    "is_vertex_separator",
+    "DegreeStats",
+    "degree_stats",
+    "hierarchical_community_digraph",
+    "meetup_like_digraph",
+    "erdos_renyi_digraph",
+    "preferential_attachment_digraph",
+    "ring_digraph",
+    "star_digraph",
+    "complete_digraph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+]

@@ -1,0 +1,128 @@
+"""Whole-graph analysis helpers: PageRank, components, degree statistics.
+
+Global (non-personalised) PageRank is used by PPV-JW and FastPPV to pick hub
+nodes "with high PageRank values" (Section 3.2 of the paper), and by the
+dataset report tables.  Connectivity checks back the separator invariants of
+the partitioner tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "pagerank",
+    "top_pagerank_nodes",
+    "weakly_connected_components",
+    "num_weakly_connected_components",
+    "is_vertex_separator",
+    "DegreeStats",
+    "degree_stats",
+]
+
+
+def pagerank(
+    graph: DiGraph,
+    *,
+    alpha: float = 0.15,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> np.ndarray:
+    """Global PageRank with teleport probability ``alpha`` (paper convention).
+
+    Iterates ``x ← (1-α)·Wᵀ·x + α/n``; dangling mass is re-spread uniformly
+    so the result is a proper distribution.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0)
+    wt = graph.transition_T()
+    dangling = graph.out_degrees == 0
+    x = np.full(n, 1.0 / n)
+    teleport = alpha / n
+    for _ in range(max_iter):
+        lost = float(x[dangling].sum()) if dangling.any() else 0.0
+        new = (1.0 - alpha) * (wt @ x + lost / n) + teleport
+        if np.abs(new - x).max() < tol:
+            return new
+        x = new
+    return x
+
+
+def top_pagerank_nodes(graph: DiGraph, k: int, *, alpha: float = 0.15) -> np.ndarray:
+    """Ids of the ``k`` highest-PageRank nodes, best first."""
+    scores = pagerank(graph, alpha=alpha)
+    k = min(k, graph.num_nodes)
+    top = np.argpartition(-scores, k - 1)[:k] if k else np.empty(0, dtype=np.int64)
+    return top[np.argsort(-scores[top])]
+
+
+def weakly_connected_components(graph: DiGraph) -> np.ndarray:
+    """Component label per node, ignoring edge direction."""
+    if graph.num_nodes == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, labels = csgraph.connected_components(graph.out_csr(), directed=False)
+    return labels.astype(np.int64)
+
+
+def num_weakly_connected_components(graph: DiGraph) -> int:
+    """Number of weakly connected components."""
+    if graph.num_nodes == 0:
+        return 0
+    labels = weakly_connected_components(graph)
+    return int(labels.max()) + 1
+
+
+def is_vertex_separator(
+    graph: DiGraph,
+    separator: np.ndarray,
+    side_a: np.ndarray,
+    side_b: np.ndarray,
+) -> bool:
+    """Check that no edge (either direction) joins ``side_a`` and ``side_b``
+    once ``separator`` nodes are removed.
+
+    This is the correctness contract of hub-node selection: every tour
+    between the two sides must pass a hub (Section 3.2).
+    """
+    n = graph.num_nodes
+    role = np.zeros(n, dtype=np.int8)  # 0 = untracked, 1 = A, 2 = B, 3 = hub
+    role[np.asarray(side_a, dtype=np.int64)] = 1
+    role[np.asarray(side_b, dtype=np.int64)] = 2
+    role[np.asarray(separator, dtype=np.int64)] = 3
+    src, dst = graph.edge_arrays()
+    rs, rd = role[src], role[dst]
+    crossing = ((rs == 1) & (rd == 2)) | ((rs == 2) & (rd == 1))
+    return not bool(crossing.any())
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a graph's degree distribution (for dataset reports)."""
+
+    num_nodes: int
+    num_edges: int
+    avg_out_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    num_dangling: int
+
+
+def degree_stats(graph: DiGraph) -> DegreeStats:
+    """Compute :class:`DegreeStats` for ``graph``."""
+    out_deg = graph.out_degrees
+    in_deg = np.asarray(graph.in_csr().sum(axis=1)).ravel()
+    return DegreeStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        avg_out_degree=float(graph.num_edges / max(1, graph.num_nodes)),
+        max_out_degree=int(out_deg.max()) if out_deg.size else 0,
+        max_in_degree=int(in_deg.max()) if in_deg.size else 0,
+        num_dangling=int((out_deg == 0).sum()),
+    )

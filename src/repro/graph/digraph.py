@@ -1,0 +1,315 @@
+"""Immutable directed graph stored in CSR (compressed sparse row) form.
+
+This is the substrate every algorithm in the library runs on.  Nodes are the
+integers ``0 .. n-1``.  After construction the edge structure is frozen, which
+lets us share one graph object between many indexes, machines and engines
+without defensive copies.
+
+The random-surfer model of the paper needs out-degrees and the row-normalised
+transition matrix; both are derived here once and cached.
+
+Dangling nodes (out-degree zero) break the pre-computed decomposition because
+Algorithm 2 of the paper redirects their mass to the *query* node, which is
+query-dependent.  :meth:`DiGraph.with_dangling_policy` normalises a graph up
+front with either ``"self_loop"`` (default for datasets) or ``"absorb"``
+(keep them; walk mass dies there), applied identically to every algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+
+__all__ = ["DiGraph", "build_csr"]
+
+DANGLING_POLICIES = ("self_loop", "absorb")
+
+
+def build_csr(
+    num_nodes: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    *,
+    dedup: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build CSR arrays (indptr, indices) from parallel edge arrays.
+
+    Parallel (duplicate) edges are removed when ``dedup`` is true, matching
+    the simple-graph semantics of the paper's datasets.  Self loops are kept.
+
+    Returns ``(indptr, indices)`` with ``indptr`` of length ``num_nodes + 1``.
+    """
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if sources.shape != targets.shape:
+        raise GraphError("sources and targets must have the same length")
+    if sources.size:
+        lo = min(sources.min(), targets.min())
+        hi = max(sources.max(), targets.max())
+        if lo < 0 or hi >= num_nodes:
+            raise GraphError(
+                f"edge endpoint out of range [0, {num_nodes}): "
+                f"saw min={lo}, max={hi}"
+            )
+    # Sort by (source, target) so the indices slice per row is ordered, then
+    # optionally drop duplicates.
+    order = np.lexsort((targets, sources))
+    s = sources[order]
+    t = targets[order]
+    if dedup and s.size:
+        keep = np.empty(s.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(s[1:] != s[:-1], t[1:] != t[:-1], out=keep[1:])
+        s = s[keep]
+        t = t[keep]
+    counts = np.bincount(s, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, t.astype(np.int64, copy=False)
+
+
+class DiGraph:
+    """Frozen directed graph with cached out/in CSR and transition matrices.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR arrays of the out-adjacency (as produced by :func:`build_csr`).
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "_num_nodes",
+        "_in_csr",
+        "_transition_T",
+        "_out_degrees",
+        "name",
+    )
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, name: str = ""):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise GraphError("indptr must be a 1-D array of length >= 1")
+        if indptr[0] != 0 or (indptr.size > 1 and np.any(np.diff(indptr) < 0)):
+            raise GraphError("indptr must start at 0 and be non-decreasing")
+        if indices.ndim != 1 or (indices.size and indptr[-1] != indices.size):
+            raise GraphError("indices length must equal indptr[-1]")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("indices contain out-of-range node ids")
+        self.indptr = indptr
+        self.indices = indices
+        self._num_nodes = n
+        self._in_csr: sp.csr_matrix | None = None
+        self._transition_T: sp.csr_matrix | None = None
+        self._out_degrees: np.ndarray | None = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        dedup: bool = True,
+        name: str = "",
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs."""
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError("edges must be pairs of node ids")
+        indptr, indices = build_csr(num_nodes, arr[:, 0], arr[:, 1], dedup=dedup)
+        return cls(indptr, indices, name=name)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        *,
+        dedup: bool = True,
+        name: str = "",
+    ) -> "DiGraph":
+        """Build a graph from parallel source/target arrays (fast path)."""
+        indptr, indices = build_csr(num_nodes, sources, targets, dedup=dedup)
+        return cls(indptr, indices, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``; nodes are ``0 .. n-1``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.indices.size)
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of node ``u``."""
+        self._check_node(u)
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an int64 array (cached)."""
+        if self._out_degrees is None:
+            self._out_degrees = np.diff(self.indptr)
+        return self._out_degrees
+
+    def successors(self, u: int) -> np.ndarray:
+        """Targets of out-edges of ``u`` (a CSR slice; do not mutate)."""
+        self._check_node(u)
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all directed edges as ``(source, target)`` pairs."""
+        for u in range(self._num_nodes):
+            for v in self.successors(u):
+                yield u, int(v)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return parallel ``(sources, targets)`` arrays for all edges."""
+        sources = np.repeat(np.arange(self._num_nodes, dtype=np.int64), self.out_degrees)
+        return sources, self.indices.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        succ = self.successors(u)
+        pos = np.searchsorted(succ, v)
+        return bool(pos < succ.size and succ[pos] == v)
+
+    def dangling_nodes(self) -> np.ndarray:
+        """Node ids with out-degree zero."""
+        return np.nonzero(self.out_degrees == 0)[0]
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._num_nodes:
+            raise GraphError(f"node {u} out of range [0, {self._num_nodes})")
+
+    # ------------------------------------------------------------------
+    # Derived matrices
+    # ------------------------------------------------------------------
+    def out_csr(self) -> sp.csr_matrix:
+        """Out-adjacency as a scipy CSR matrix of ones."""
+        data = np.ones(self.indices.size, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, self.indices, self.indptr),
+            shape=(self._num_nodes, self._num_nodes),
+        )
+
+    def in_csr(self) -> sp.csr_matrix:
+        """In-adjacency (transpose of :meth:`out_csr`) in CSR form, cached."""
+        if self._in_csr is None:
+            self._in_csr = self.out_csr().T.tocsr()
+        return self._in_csr
+
+    def transition_T(self) -> sp.csr_matrix:
+        """``Wᵀ`` where ``W[u, v] = 1/out(u)`` for each edge ``u -> v``.
+
+        One PPR power-iteration step is ``x ← (1-α)·Wᵀ·x + α·x_q``, so the
+        transpose is the matrix actually used in every inner loop; it is
+        built once and cached.  Dangling rows of ``W`` are all-zero
+        (sub-stochastic), i.e. the "absorb" convention at matrix level.
+        """
+        if self._transition_T is None:
+            deg = self.out_degrees.astype(np.float64)
+            inv = np.zeros_like(deg)
+            nz = deg > 0
+            inv[nz] = 1.0 / deg[nz]
+            data = np.repeat(inv, self.out_degrees)
+            w = sp.csr_matrix(
+                (data, self.indices, self.indptr),
+                shape=(self._num_nodes, self._num_nodes),
+            )
+            self._transition_T = w.T.tocsr()
+        return self._transition_T
+
+    def undirected_csr(self) -> sp.csr_matrix:
+        """Symmetrised adjacency with edge multiplicity as weight.
+
+        Used by the partitioner: an edge cut in this matrix corresponds to
+        the number of directed edges crossing the cut.
+        """
+        a = self.out_csr()
+        return (a + a.T).tocsr()
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_dangling_policy(self, policy: str = "self_loop") -> "DiGraph":
+        """Return a graph with dangling nodes handled per ``policy``.
+
+        ``"self_loop"`` adds ``u -> u`` to every dangling node so random-walk
+        mass keeps circulating; ``"absorb"`` returns the graph unchanged
+        (mass entering a dangling node dies, PPVs sum to less than one).
+        """
+        if policy not in DANGLING_POLICIES:
+            raise GraphError(
+                f"unknown dangling policy {policy!r}; expected one of {DANGLING_POLICIES}"
+            )
+        if policy == "absorb":
+            return self
+        dangling = self.dangling_nodes()
+        if dangling.size == 0:
+            return self
+        src, dst = self.edge_arrays()
+        src = np.concatenate([src, dangling])
+        dst = np.concatenate([dst, dangling])
+        return DiGraph.from_arrays(self._num_nodes, src, dst, name=self.name)
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge direction flipped."""
+        src, dst = self.edge_arrays()
+        return DiGraph.from_arrays(self._num_nodes, dst, src, name=self.name)
+
+    def induced(self, nodes: Sequence[int] | np.ndarray) -> "DiGraph":
+        """Induced subgraph on ``nodes`` *relabelled* to ``0..k-1``.
+
+        For the virtual-subgraph semantics of the paper (original
+        out-degrees, absorbing exits) use
+        :class:`repro.graph.subgraph.VirtualSubgraph` instead.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self._num_nodes):
+            raise GraphError("induced(): node ids out of range")
+        mapping = np.full(self._num_nodes, -1, dtype=np.int64)
+        mapping[nodes] = np.arange(nodes.size)
+        src, dst = self.edge_arrays()
+        keep = (mapping[src] >= 0) & (mapping[dst] >= 0)
+        return DiGraph.from_arrays(
+            nodes.size, mapping[src[keep]], mapping[dst[keep]], name=self.name
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"<DiGraph{label} n={self._num_nodes} m={self.num_edges}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_nodes, self.num_edges))

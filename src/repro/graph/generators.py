@@ -1,0 +1,310 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on five real networks (Email, Web, Youtube, PLD, Meetup)
+that are not redistributable here, so :mod:`repro.datasets` builds stand-ins
+from these generators.  What GPA/HGPA exploit in the real graphs is their
+*community structure* — recursive bisection finds small vertex separators —
+together with power-law degree skew.  The generators plant both properties
+explicitly:
+
+* :func:`hierarchical_community_digraph` — a binary hierarchy of communities
+  with geometrically decaying cross-community edge budgets (small separators
+  at every level), power-law endpoint weights (degree skew).
+* :func:`meetup_like_digraph` — an event co-attendance graph (dense,
+  clique-heavy) mirroring the Meetup crawl used for the scalability study.
+* classic generators (Erdős–Rényi, preferential attachment, ring, star,
+  complete) used by the test-suite.
+
+All generators are seeded and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "hierarchical_community_digraph",
+    "meetup_like_digraph",
+    "erdos_renyi_digraph",
+    "preferential_attachment_digraph",
+    "ring_digraph",
+    "star_digraph",
+    "complete_digraph",
+]
+
+
+def _power_weights(size: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-like sampling weights of a block, shuffled so hot nodes spread."""
+    w = (np.arange(1, size + 1, dtype=np.float64)) ** (-exponent)
+    rng.shuffle(w)
+    return w / w.sum()
+
+
+def _sample_pairs(
+    rng: np.random.Generator,
+    count: int,
+    src_nodes: np.ndarray,
+    src_p: np.ndarray,
+    dst_nodes: np.ndarray,
+    dst_p: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` (src, dst) pairs with the given endpoint weights."""
+    if count <= 0 or src_nodes.size == 0 or dst_nodes.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    s = rng.choice(src_nodes, size=count, p=src_p)
+    d = rng.choice(dst_nodes, size=count, p=dst_p)
+    return s, d
+
+
+def hierarchical_community_digraph(
+    num_nodes: int,
+    *,
+    depth: int | None = None,
+    avg_out_degree: float = 6.0,
+    cross_fraction: float = 0.10,
+    front_decay: float = 0.5,
+    back_weight: float = 0.35,
+    back_decay: float = 0.5,
+    degree_exponent: float = 1.5,
+    centers_fraction: float = 0.06,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Directed graph with a planted binary community hierarchy.
+
+    Nodes are split into ``2**depth`` contiguous leaf communities.  A
+    ``1 - cross_fraction`` share of the edge budget lands inside leaves; the
+    rest crosses community boundaries.  The per-level cross budget is
+    U-shaped — ``front_decay**k + back_weight * back_decay**(depth-1-k)`` —
+    which mirrors the paper's hub-count tables (Tables 2–5): the level-0
+    split cuts the most, mid levels separate cheaply, and deep levels get
+    denser again.  Endpoints are drawn with power-law weights for degree
+    skew, and every node receives at least one out-edge inside its leaf so
+    the graph has no isolated nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total node count; must be at least ``2**depth``.
+    depth:
+        Number of binary splits in the planted hierarchy; default is
+        ``log2(n) - 3`` (leaf communities of roughly eight nodes), clamped
+        to at least 3, so community structure extends all the way down —
+        the property that keeps vertex separators (hence hub sets) small.
+    avg_out_degree:
+        Target ``m/n`` ratio.
+    cross_fraction:
+        Fraction of edges crossing community boundaries (controls separator
+        sizes, hence hub counts).
+    front_decay, back_weight, back_decay:
+        Shape of the per-level cross-edge budget (see above).
+    degree_exponent:
+        Exponent of the endpoint sampling weights (0 = uniform).  Real web
+        and social graphs are core–periphery structured — most nodes have
+        one or two edges pointing at a small core — which is exactly what
+        keeps their vertex covers (hence hub sets) small; a strong exponent
+        reproduces that.
+    centers_fraction:
+        Fraction of each leaf community acting as local "centers"; every
+        member gets its guaranteed out-edge to a centre, giving leaves the
+        star-like topology whose vertex cover is just the centres.
+    """
+    if depth is None:
+        depth = max(3, int(np.log2(max(8, num_nodes))) - 3)
+    if num_nodes < 2**depth:
+        raise GraphError(
+            f"num_nodes={num_nodes} is smaller than 2**depth={2 ** depth}"
+        )
+    rng = np.random.default_rng(seed)
+    total_edges = int(round(num_nodes * avg_out_degree))
+    num_leaves = 2**depth
+    # Contiguous leaf ranges; the last leaf absorbs the remainder.
+    bounds = np.linspace(0, num_nodes, num_leaves + 1).astype(np.int64)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+
+    # Per-leaf weights, re-used for cross sampling of the enclosing ranges.
+    leaf_weights: list[np.ndarray] = []
+    for b in range(num_leaves):
+        size = int(bounds[b + 1] - bounds[b])
+        leaf_weights.append(_power_weights(size, degree_exponent, rng))
+
+    def range_weights(lo_leaf: int, hi_leaf: int) -> tuple[np.ndarray, np.ndarray]:
+        nodes = np.arange(bounds[lo_leaf], bounds[hi_leaf], dtype=np.int64)
+        w = np.concatenate(leaf_weights[lo_leaf:hi_leaf])
+        return nodes, w / w.sum()
+
+    # Within-leaf edges: star-like around a few local centres, plus a
+    # weight-skewed random remainder.
+    within_budget = int(total_edges * (1.0 - cross_fraction))
+    for b in range(num_leaves):
+        size = int(bounds[b + 1] - bounds[b])
+        nodes = np.arange(bounds[b], bounds[b + 1], dtype=np.int64)
+        p = leaf_weights[b]
+        if size > 1:
+            num_centers = max(1, int(round(size * centers_fraction)))
+            centers = nodes[np.argsort(-p)[:num_centers]]
+            # Guaranteed out-edge: every member points at a centre.
+            partners = centers[rng.integers(0, num_centers, size)]
+            srcs.append(nodes)
+            dsts.append(partners)
+            # Centres answer back to a couple of members each.
+            back = rng.integers(0, size, num_centers * 2)
+            srcs.append(np.repeat(centers, 2))
+            dsts.append(nodes[back])
+        quota = max(0, int(round(within_budget * size / num_nodes)) - size)
+        s, d = _sample_pairs(rng, quota, nodes, p, nodes, p)
+        srcs.append(s)
+        dsts.append(d)
+
+    # Cross edges, level by level (level 0 = split of the whole graph).
+    cross_budget = total_edges - within_budget
+    shape = np.array(
+        [
+            front_decay**k + back_weight * back_decay ** (depth - 1 - k)
+            for k in range(depth)
+        ]
+    )
+    level_quota = (cross_budget * shape / shape.sum()).astype(np.int64)
+    for level in range(depth):
+        pairs = 2**level  # sibling pairs at this level
+        leaves_per_side = num_leaves // (2 ** (level + 1))
+        per_pair = max(1, int(level_quota[level]) // max(1, pairs))
+        for p_idx in range(pairs):
+            lo = p_idx * 2 * leaves_per_side
+            mid = lo + leaves_per_side
+            hi = mid + leaves_per_side
+            a_nodes, a_p = range_weights(lo, mid)
+            b_nodes, b_p = range_weights(mid, hi)
+            s1, d1 = _sample_pairs(rng, per_pair // 2 + 1, a_nodes, a_p, b_nodes, b_p)
+            s2, d2 = _sample_pairs(rng, per_pair // 2 + 1, b_nodes, b_p, a_nodes, a_p)
+            srcs.extend([s1, s2])
+            dsts.extend([d1, d2])
+
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    keep = src != dst  # drop accidental self loops
+    return DiGraph.from_arrays(num_nodes, src[keep], dst[keep], name=name)
+
+
+def meetup_like_digraph(
+    num_nodes: int,
+    num_events: int,
+    *,
+    mean_event_size: float = 8.0,
+    max_event_size: int = 40,
+    depth: int = 3,
+    locality: float = 0.9,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Event co-attendance graph in the style of the paper's Meetup crawl.
+
+    ``num_events`` events each draw a geometric-sized member set, mostly from
+    one community of a planted hierarchy (``locality`` controls how often all
+    members come from the same community).  Every ordered pair of co-attendees
+    becomes a directed edge, producing the dense, clique-heavy structure (the
+    paper's Meetup graphs have average degree ≈ 80–110) that the scalability
+    study in Section 6.2.7 sweeps by increasing the number of events.
+    """
+    if num_nodes < 2**depth:
+        raise GraphError("num_nodes must be at least 2**depth")
+    rng = np.random.default_rng(seed)
+    num_blocks = 2**depth
+    bounds = np.linspace(0, num_nodes, num_blocks + 1).astype(np.int64)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    sizes = rng.geometric(1.0 / mean_event_size, size=num_events)
+    sizes = np.clip(sizes + 1, 2, max_event_size)
+    home = rng.integers(0, num_blocks, size=num_events)
+    for e in range(num_events):
+        size = int(sizes[e])
+        block = int(home[e])
+        local = rng.random(size) < locality
+        members = np.empty(size, dtype=np.int64)
+        n_local = int(local.sum())
+        members[:n_local] = rng.integers(bounds[block], bounds[block + 1], size=n_local)
+        members[n_local:] = rng.integers(0, num_nodes, size=size - n_local)
+        members = np.unique(members)
+        if members.size < 2:
+            continue
+        k = members.size
+        s = np.repeat(members, k)
+        d = np.tile(members, k)
+        keep = s != d
+        srcs.append(s[keep])
+        dsts.append(d[keep])
+    # Make sure nobody is isolated.
+    anchors = np.arange(num_nodes, dtype=np.int64)
+    srcs.append(anchors)
+    dsts.append((anchors + 1) % num_nodes)
+    return DiGraph.from_arrays(
+        num_nodes, np.concatenate(srcs), np.concatenate(dsts), name=name
+    )
+
+
+def erdos_renyi_digraph(
+    num_nodes: int, num_edges: int, *, seed: int = 0, name: str = ""
+) -> DiGraph:
+    """Uniform random directed graph with ~``num_edges`` distinct edges."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    keep = src != dst
+    return DiGraph.from_arrays(num_nodes, src[keep], dst[keep], name=name)
+
+
+def preferential_attachment_digraph(
+    num_nodes: int, out_per_node: int = 3, *, seed: int = 0, name: str = ""
+) -> DiGraph:
+    """Directed Barabási–Albert-style graph (power-law in-degrees)."""
+    if num_nodes < 2:
+        raise GraphError("need at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    srcs: list[int] = []
+    dsts: list[int] = []
+    # Repeated-endpoint list implements preferential attachment in O(m).
+    targets: list[int] = [0]
+    for u in range(1, num_nodes):
+        k = min(out_per_node, u)
+        picks = rng.integers(0, len(targets), size=k)
+        chosen = {targets[int(i)] for i in picks}
+        for v in chosen:
+            srcs.append(u)
+            dsts.append(v)
+            targets.append(v)
+        targets.append(u)
+    return DiGraph.from_arrays(
+        num_nodes,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        name=name,
+    )
+
+
+def ring_digraph(num_nodes: int, *, name: str = "") -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    nodes = np.arange(num_nodes, dtype=np.int64)
+    return DiGraph.from_arrays(num_nodes, nodes, (nodes + 1) % num_nodes, name=name)
+
+
+def star_digraph(num_nodes: int, *, name: str = "") -> DiGraph:
+    """Hub node 0 with edges to and from every other node."""
+    spokes = np.arange(1, num_nodes, dtype=np.int64)
+    zeros = np.zeros(num_nodes - 1, dtype=np.int64)
+    src = np.concatenate([zeros, spokes])
+    dst = np.concatenate([spokes, zeros])
+    return DiGraph.from_arrays(num_nodes, src, dst, name=name)
+
+
+def complete_digraph(num_nodes: int, *, name: str = "") -> DiGraph:
+    """All ordered pairs ``u != v``."""
+    nodes = np.arange(num_nodes, dtype=np.int64)
+    src = np.repeat(nodes, num_nodes)
+    dst = np.tile(nodes, num_nodes)
+    keep = src != dst
+    return DiGraph.from_arrays(num_nodes, src[keep], dst[keep], name=name)

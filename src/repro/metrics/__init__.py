@@ -1,0 +1,19 @@
+"""Accuracy metrics used throughout the evaluation."""
+
+from repro.metrics.norms import average_l1, l1, l_inf
+from repro.metrics.ranking import (
+    kendall_tau_at_k,
+    precision_at_k,
+    rag_at_k,
+    top_k_nodes,
+)
+
+__all__ = [
+    "average_l1",
+    "l1",
+    "l_inf",
+    "top_k_nodes",
+    "precision_at_k",
+    "rag_at_k",
+    "kendall_tau_at_k",
+]

@@ -1,0 +1,44 @@
+"""Vector-difference accuracy metrics (Section 6.1).
+
+``average_l1`` and ``l_inf`` are the paper's ℓ-norm metrics for comparing a
+computed PPV against the power-iteration reference (Figs. 19 and 25):
+``L1^avg = Σ_v |r(v) − r̄(v)| / |V|`` and ``L∞ = max_v |r(v) − r̄(v)|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["average_l1", "l_inf", "l1"]
+
+
+def _check(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ReproError("vectors must be 1-D and of equal length")
+    return a, b
+
+
+def average_l1(a: np.ndarray, b: np.ndarray) -> float:
+    """``Σ|a − b| / |V|`` — the paper's average L1-norm."""
+    a, b = _check(a, b)
+    if a.size == 0:
+        return 0.0
+    return float(np.abs(a - b).sum() / a.size)
+
+
+def l1(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain ``Σ|a − b|``."""
+    a, b = _check(a, b)
+    return float(np.abs(a - b).sum())
+
+
+def l_inf(a: np.ndarray, b: np.ndarray) -> float:
+    """``max|a − b|`` — the paper's L∞-norm."""
+    a, b = _check(a, b)
+    if a.size == 0:
+        return 0.0
+    return float(np.abs(a - b).max())

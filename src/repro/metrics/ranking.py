@@ -1,0 +1,80 @@
+"""Top-k ranking accuracy metrics (Section 6.2.10, following [11, 49]).
+
+Figure 26 compares the top-100 nodes of each algorithm against the
+power-iteration result with three measures:
+
+* **Precision@k** — overlap of the two top-k sets.
+* **RAG** (relative aggregated goodness [11]) — how much of the best
+  attainable top-k "goodness" (sum of exact scores) the approximate top-k
+  set captures.
+* **Kendall's τ** — fraction-based pair-order agreement over the union of
+  the two top-k sets, counting concordant minus discordant pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["top_k_nodes", "precision_at_k", "rag_at_k", "kendall_tau_at_k"]
+
+
+def top_k_nodes(scores: np.ndarray, k: int) -> np.ndarray:
+    """Ids of the ``k`` largest entries, best first (ties by id)."""
+    scores = np.asarray(scores)
+    k = min(k, scores.size)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    part = np.argpartition(-scores, k - 1)[:k]
+    return part[np.lexsort((part, -scores[part]))]
+
+
+def precision_at_k(approx: np.ndarray, exact: np.ndarray, k: int) -> float:
+    """``|top_k(approx) ∩ top_k(exact)| / k``."""
+    if k <= 0:
+        raise ReproError("k must be positive")
+    a = set(top_k_nodes(approx, k).tolist())
+    e = set(top_k_nodes(exact, k).tolist())
+    return len(a & e) / min(k, max(1, len(e)))
+
+
+def rag_at_k(approx: np.ndarray, exact: np.ndarray, k: int) -> float:
+    """Relative aggregated goodness: exact mass captured by approx's top-k."""
+    if k <= 0:
+        raise ReproError("k must be positive")
+    exact = np.asarray(exact, dtype=np.float64)
+    a = top_k_nodes(approx, k)
+    e = top_k_nodes(exact, k)
+    denom = float(exact[e].sum())
+    if denom <= 0.0:
+        return 1.0
+    return float(exact[a].sum()) / denom
+
+
+def kendall_tau_at_k(approx: np.ndarray, exact: np.ndarray, k: int) -> float:
+    """Kendall's τ over the union of both top-k sets.
+
+    Pairs ordered the same way by both score vectors count as concordant;
+    opposite orders as discordant; ties in either vector are skipped.
+    Returns a value in ``[-1, 1]`` (1 = perfect agreement).
+    """
+    if k <= 0:
+        raise ReproError("k must be positive")
+    union = np.union1d(top_k_nodes(approx, k), top_k_nodes(exact, k))
+    a = np.asarray(approx, dtype=np.float64)[union]
+    e = np.asarray(exact, dtype=np.float64)[union]
+    n = union.size
+    if n < 2:
+        return 1.0
+    # O(n²) pair count — n ≤ 2k, tiny for the paper's k=100.
+    da = np.sign(a[:, None] - a[None, :])
+    de = np.sign(e[:, None] - e[None, :])
+    iu = np.triu_indices(n, k=1)
+    valid = (da[iu] != 0) & (de[iu] != 0)  # pairs tied in either vector skip
+    prod = da[iu][valid] * de[iu][valid]
+    if prod.size == 0:
+        return 1.0
+    concordant = int((prod > 0).sum())
+    discordant = int((prod < 0).sum())
+    return (concordant - discordant) / prod.size

@@ -1,0 +1,45 @@
+"""Balanced graph partitioning, hub selection and the HGPA hierarchy."""
+
+from repro.partition.bisect import multilevel_bisect, region_grow_bisect
+from repro.partition.flat import FlatPartition, flat_partition
+from repro.partition.hierarchy import (
+    PartitionHierarchy,
+    SubgraphNode,
+    build_hierarchy,
+)
+from repro.partition.kway import partition_kway, partition_kway_local
+from repro.partition.matching import coarsen, heavy_edge_matching
+from repro.partition.refine import fm_refine
+from repro.partition.ugraph import UGraph, ugraph_from_coo, ugraph_from_digraph
+from repro.partition.vertex_cover import (
+    bipartite_min_vertex_cover,
+    cover_cut_edges,
+    greedy_vertex_cover,
+    hopcroft_karp,
+    konig_cover,
+    matching_vertex_cover_2approx,
+)
+
+__all__ = [
+    "UGraph",
+    "ugraph_from_coo",
+    "ugraph_from_digraph",
+    "heavy_edge_matching",
+    "coarsen",
+    "fm_refine",
+    "multilevel_bisect",
+    "region_grow_bisect",
+    "partition_kway",
+    "partition_kway_local",
+    "hopcroft_karp",
+    "konig_cover",
+    "bipartite_min_vertex_cover",
+    "greedy_vertex_cover",
+    "matching_vertex_cover_2approx",
+    "cover_cut_edges",
+    "FlatPartition",
+    "flat_partition",
+    "SubgraphNode",
+    "PartitionHierarchy",
+    "build_hierarchy",
+]

@@ -1,0 +1,94 @@
+"""Single-level balanced partition with hub extraction — GPA's Section 3.1.
+
+The graph is split into ``m`` balanced parts (METIS-style); a vertex cover of
+the cut edges becomes the global hub set ``H``; the GPA subgraphs are the
+parts minus the hubs, so every tour between two subgraphs must pass a hub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.digraph import DiGraph
+from repro.partition.kway import partition_kway
+from repro.partition.vertex_cover import cover_cut_edges
+
+__all__ = ["FlatPartition", "flat_partition"]
+
+
+@dataclass
+class FlatPartition:
+    """Result of a GPA partition.
+
+    ``labels[u]`` is the part of node ``u`` (hubs keep the label of the part
+    they were drawn from); ``hubs`` is the separating hub set ``H``;
+    ``part_nodes[p]`` lists the non-hub members of subgraph ``p``.
+    """
+
+    graph: DiGraph
+    num_parts: int
+    labels: np.ndarray
+    hubs: np.ndarray
+    part_nodes: list[np.ndarray]
+
+    @property
+    def num_hubs(self) -> int:
+        return int(self.hubs.size)
+
+    def is_hub(self, u: int) -> bool:
+        """Whether ``u`` belongs to the hub set."""
+        pos = np.searchsorted(self.hubs, u)
+        return bool(pos < self.hubs.size and self.hubs[pos] == u)
+
+    def part_of(self, u: int) -> int:
+        """Part label of a non-hub node ``u``."""
+        if self.is_hub(u):
+            raise PartitionError(f"node {u} is a hub; it belongs to no part")
+        return int(self.labels[u])
+
+    def validate(self) -> None:
+        """Every part's non-hub nodes are disjoint and jointly exhaustive,
+        and no internal edge joins two different parts."""
+        seen = np.zeros(self.graph.num_nodes, dtype=bool)
+        for nodes in self.part_nodes:
+            if np.any(seen[nodes]):
+                raise PartitionError("parts overlap")
+            seen[nodes] = True
+        seen[self.hubs] = True
+        if not seen.all():
+            raise PartitionError("some nodes in no part and not hubs")
+        src, dst = self.graph.edge_arrays()
+        hub_mask = np.zeros(self.graph.num_nodes, dtype=bool)
+        hub_mask[self.hubs] = True
+        alive = ~hub_mask[src] & ~hub_mask[dst]
+        if np.any(self.labels[src[alive]] != self.labels[dst[alive]]):
+            raise PartitionError("hub set does not separate the parts")
+
+
+def flat_partition(
+    graph: DiGraph,
+    num_parts: int,
+    *,
+    balance: float = 0.05,
+    seed: int = 0,
+    cover_method: str = "auto",
+) -> FlatPartition:
+    """Partition ``graph`` into ``num_parts`` hub-separated subgraphs."""
+    if num_parts < 1:
+        raise PartitionError(f"num_parts must be >= 1, got {num_parts}")
+    labels = (
+        np.zeros(graph.num_nodes, dtype=np.int64)
+        if num_parts == 1
+        else partition_kway(graph, num_parts, balance=balance, seed=seed)
+    )
+    src, dst = graph.edge_arrays()
+    hubs = cover_cut_edges(src, dst, labels, method=cover_method, seed=seed)
+    hub_mask = np.zeros(graph.num_nodes, dtype=bool)
+    hub_mask[hubs] = True
+    part_nodes = [
+        np.nonzero((labels == p) & ~hub_mask)[0] for p in range(num_parts)
+    ]
+    return FlatPartition(graph, num_parts, labels, hubs, part_nodes)

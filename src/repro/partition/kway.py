@@ -1,0 +1,98 @@
+"""K-way partitioning by recursive bisection, over a digraph or node subset.
+
+METIS-style: a ``k``-way split is produced by bisecting with target fraction
+``ceil(k/2)/k`` and recursing on the two sides, which keeps all ``k`` parts
+balanced even when ``k`` is not a power of two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import VirtualSubgraph
+from repro.partition.bisect import multilevel_bisect
+from repro.partition.ugraph import UGraph, ugraph_from_coo, ugraph_from_digraph
+
+__all__ = ["partition_kway", "partition_kway_local", "ugraph_of_subgraph"]
+
+
+def ugraph_of_subgraph(view: VirtualSubgraph) -> UGraph:
+    """Symmetrised internal-edge graph of a virtual subgraph (local ids)."""
+    src, dst = view.internal_edges_local()
+    return ugraph_from_coo(view.num_nodes, src, dst)
+
+
+def partition_kway_local(
+    ug: UGraph,
+    k: int,
+    *,
+    balance: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Partition a :class:`UGraph` into ``k`` parts; returns labels 0..k-1."""
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    n = ug.num_nodes
+    labels = np.zeros(n, dtype=np.int64)
+    if k == 1 or n == 0:
+        return labels
+    _recurse(ug, np.arange(n, dtype=np.int64), k, 0, labels, balance, seed)
+    return labels
+
+
+def _recurse(
+    ug: UGraph,
+    nodes: np.ndarray,
+    k: int,
+    label_base: int,
+    out_labels: np.ndarray,
+    balance: float,
+    seed: int,
+) -> None:
+    if k == 1 or nodes.size <= 1:
+        out_labels[nodes] = label_base
+        return
+    k_left = (k + 1) // 2
+    sub = _induce_ugraph(ug, nodes)
+    side = multilevel_bisect(
+        sub, target_frac=k_left / k, balance=balance, seed=seed
+    )
+    left = nodes[side == 0]
+    right = nodes[side == 1]
+    if left.size == 0 or right.size == 0:
+        # Degenerate split (e.g. a clique smaller than k): fall back to a
+        # round-robin assignment so every part still exists.
+        out_labels[nodes] = label_base + (np.arange(nodes.size) % k)
+        return
+    _recurse(ug, left, k_left, label_base, out_labels, balance, seed * 2 + 1)
+    _recurse(ug, right, k - k_left, label_base + k_left, out_labels, balance, seed * 2 + 2)
+
+
+def _induce_ugraph(ug: UGraph, nodes: np.ndarray) -> UGraph:
+    """Induced sub-UGraph on ``nodes`` relabelled to 0..len-1."""
+    local = np.full(ug.num_nodes, -1, dtype=np.int64)
+    local[nodes] = np.arange(nodes.size)
+    src = np.repeat(np.arange(ug.num_nodes, dtype=np.int64), ug.degrees())
+    keep = (local[src] >= 0) & (local[ug.indices] >= 0)
+    # Entries are symmetric; halve the weights because ugraph_from_coo
+    # re-symmetrises.
+    return ugraph_from_coo(
+        nodes.size,
+        local[src[keep]],
+        local[ug.indices[keep]],
+        ug.eweights[keep] / 2.0,
+        vweights=ug.vweights[nodes],
+    )
+
+
+def partition_kway(
+    graph: DiGraph,
+    k: int,
+    *,
+    balance: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Partition a digraph into ``k`` balanced parts; returns labels 0..k-1."""
+    return partition_kway_local(ugraph_from_digraph(graph), k, balance=balance, seed=seed)

@@ -1,0 +1,228 @@
+"""Hub-node selection: minimum vertex cover of the cut edges (Appendix D).
+
+After partitioning, every cut edge must be "covered" by a hub node so that
+removing the hubs disconnects the parts.  For a 2-way partition the cut edges
+form a bipartite graph, so the *minimum* cover is computable exactly via
+Kőnig's theorem (maximum matching by Hopcroft–Karp, then the alternating-path
+construction).  For multi-way partitions the problem is general vertex cover
+(NP-hard); the paper uses the classic approximation [39], provided here as
+the matching-based 2-approximation, alongside a degree-greedy heuristic that
+is usually smaller in practice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+__all__ = [
+    "hopcroft_karp",
+    "konig_cover",
+    "bipartite_min_vertex_cover",
+    "greedy_vertex_cover",
+    "matching_vertex_cover_2approx",
+    "cover_cut_edges",
+]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    adj: list[list[int]], num_left: int, num_right: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Maximum bipartite matching in O(E·sqrt(V)).
+
+    ``adj[u]`` lists right-side neighbours of left vertex ``u``.  Returns
+    ``(match_left, match_right)`` with ``-1`` marking unmatched vertices.
+    """
+    match_l = np.full(num_left, -1, dtype=np.int64)
+    match_r = np.full(num_right, -1, dtype=np.int64)
+    dist = np.zeros(num_left, dtype=np.float64)
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(num_left):
+            if match_l[u] < 0:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                w = int(match_r[v])
+                if w < 0:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1.0
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adj[u]:
+            w = int(match_r[v])
+            if w < 0 or (dist[w] == dist[u] + 1.0 and dfs(w)):
+                match_l[u] = v
+                match_r[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, num_left + num_right + 1000))
+    try:
+        while bfs():
+            for u in range(num_left):
+                if match_l[u] < 0:
+                    dfs(u)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return match_l, match_r
+
+
+def konig_cover(
+    adj: list[list[int]],
+    match_l: np.ndarray,
+    match_r: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Kőnig construction: minimum vertex cover from a maximum matching.
+
+    ``Z`` = unmatched left vertices plus everything reachable by alternating
+    paths (unmatched edges left→right, matched edges right→left).  The cover
+    is ``(L \\ Z) ∪ (R ∩ Z)`` and its size equals the matching size.
+    Returns boolean masks ``(cover_left, cover_right)``.
+    """
+    num_left, num_right = match_l.size, match_r.size
+    z_left = match_l < 0
+    z_right = np.zeros(num_right, dtype=bool)
+    queue: deque[int] = deque(np.nonzero(z_left)[0].tolist())
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if not z_right[v]:
+                z_right[v] = True
+                w = int(match_r[v])
+                if w >= 0 and not z_left[w]:
+                    z_left[w] = True
+                    queue.append(w)
+    return ~z_left, z_right
+
+
+def bipartite_min_vertex_cover(
+    pairs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact minimum vertex cover of bipartite edges ``pairs`` (k×2).
+
+    Column 0 holds left-side ids, column 1 right-side ids (arbitrary ints,
+    relabelled internally).  Returns ``(left_ids, right_ids)`` of the chosen
+    cover in the caller's id space.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise PartitionError("pairs must be a (k, 2) array")
+    left_ids, left_idx = np.unique(pairs[:, 0], return_inverse=True)
+    right_ids, right_idx = np.unique(pairs[:, 1], return_inverse=True)
+    adj: list[list[int]] = [[] for _ in range(left_ids.size)]
+    for li, ri in zip(left_idx.tolist(), right_idx.tolist()):
+        adj[li].append(ri)
+    match_l, match_r = hopcroft_karp(adj, left_ids.size, right_ids.size)
+    cover_l, cover_r = konig_cover(adj, match_l, match_r)
+    return left_ids[cover_l], right_ids[cover_r]
+
+
+def greedy_vertex_cover(pairs: np.ndarray) -> np.ndarray:
+    """Degree-greedy cover: repeatedly take the endpoint covering the most
+    still-uncovered edges.  No approximation guarantee but small in practice.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    incident: dict[int, set[int]] = {}
+    for e, (a, b) in enumerate(pairs.tolist()):
+        incident.setdefault(a, set()).add(e)
+        incident.setdefault(b, set()).add(e)
+    cover: list[int] = []
+    alive = {e for e in range(pairs.shape[0])}
+    while alive:
+        node = max(incident, key=lambda x: len(incident[x]))
+        edges = incident.pop(node)
+        if not edges:
+            continue
+        cover.append(node)
+        for e in edges & alive:
+            alive.discard(e)
+            a, b = int(pairs[e, 0]), int(pairs[e, 1])
+            for other in (a, b):
+                if other != node and other in incident:
+                    incident[other].discard(e)
+    return np.asarray(sorted(cover), dtype=np.int64)
+
+
+def matching_vertex_cover_2approx(pairs: np.ndarray, *, seed: int = 0) -> np.ndarray:
+    """Classic 2-approximation [39]: take both endpoints of a maximal matching."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(pairs.shape[0])
+    used: set[int] = set()
+    cover: set[int] = set()
+    for e in order.tolist():
+        a, b = int(pairs[e, 0]), int(pairs[e, 1])
+        if a not in used and b not in used:
+            used.add(a)
+            used.add(b)
+            cover.add(a)
+            cover.add(b)
+    return np.asarray(sorted(cover), dtype=np.int64)
+
+
+def cover_cut_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    labels: np.ndarray,
+    *,
+    method: str = "auto",
+    seed: int = 0,
+) -> np.ndarray:
+    """Select hub nodes covering every edge whose endpoints differ in label.
+
+    ``method``: ``"exact"`` (Kőnig; requires exactly two part labels among
+    the cut edges), ``"greedy"``, ``"approx2"``, or ``"auto"`` (exact when
+    bipartite, greedy otherwise).  Returns sorted unique node ids.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    crossing = labels[src] != labels[dst]
+    cs, cd = src[crossing], dst[crossing]
+    if cs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    part_labels = np.unique(np.concatenate([labels[cs], labels[cd]]))
+    bipartite = part_labels.size == 2
+    if method == "auto":
+        method = "exact" if bipartite else "greedy"
+    if method == "exact":
+        if not bipartite:
+            raise PartitionError(
+                "exact cover requires a 2-way cut; use greedy/approx2 for multi-way"
+            )
+        low = part_labels[0]
+        # Orient each cut pair as (low-side node, high-side node).
+        a = np.where(labels[cs] == low, cs, cd)
+        b = np.where(labels[cs] == low, cd, cs)
+        left, right = bipartite_min_vertex_cover(np.column_stack([a, b]))
+        return np.unique(np.concatenate([left, right]))
+    pairs = np.column_stack([cs, cd])
+    if method == "greedy":
+        return greedy_vertex_cover(pairs)
+    if method == "approx2":
+        return matching_vertex_cover_2approx(pairs, seed=seed)
+    raise PartitionError(f"unknown cover method {method!r}")

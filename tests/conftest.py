@@ -1,0 +1,98 @@
+"""Shared fixtures: small deterministic graphs and pre-built exact indexes.
+
+Exactness tests run all algorithms at ``TIGHT_TOL`` and compare against
+power iteration; the iteration/pruning error then sits far below
+``EXACT_ATOL``, so any structural mistake (not a tolerance artefact) fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_gpa_index,
+    build_hgpa_index,
+    build_jw_index,
+    power_iteration_ppv,
+)
+from repro.graph import (
+    DiGraph,
+    hierarchical_community_digraph,
+    ring_digraph,
+    star_digraph,
+)
+
+TIGHT_TOL = 1e-10
+EXACT_ATOL = 5e-8
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> DiGraph:
+    """Five nodes, hand-checkable (the debug graph of Section 2's example)."""
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (1, 3)]
+    return DiGraph.from_edges(5, edges)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> DiGraph:
+    """200-node community graph with no dangling nodes."""
+    g = hierarchical_community_digraph(200, depth=3, avg_out_degree=3, seed=3)
+    return g.with_dangling_policy("self_loop")
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> DiGraph:
+    """800-node community graph for partition/distributed tests."""
+    g = hierarchical_community_digraph(800, avg_out_degree=4, seed=5)
+    return g.with_dangling_policy("self_loop")
+
+
+@pytest.fixture(scope="session")
+def ring10() -> DiGraph:
+    return ring_digraph(10)
+
+
+@pytest.fixture(scope="session")
+def star7() -> DiGraph:
+    return star_digraph(7)
+
+
+@pytest.fixture(scope="session")
+def reference_ppv(small_graph):
+    """Memoised exact PPVs of the small graph."""
+    cache: dict[int, np.ndarray] = {}
+
+    def get(u: int) -> np.ndarray:
+        if u not in cache:
+            cache[u] = power_iteration_ppv(small_graph, u, tol=TIGHT_TOL)
+        return cache[u]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def hgpa_small(small_graph):
+    return build_hgpa_index(small_graph, tol=TIGHT_TOL, seed=0)
+
+
+@pytest.fixture(scope="session")
+def gpa_small(small_graph):
+    return build_gpa_index(small_graph, 4, tol=TIGHT_TOL, seed=0)
+
+
+@pytest.fixture(scope="session")
+def jw_small(small_graph):
+    return build_jw_index(small_graph, num_hubs=20, tol=TIGHT_TOL)
+
+
+def dense_ppv_matrix(graph: DiGraph, alpha: float = 0.15) -> np.ndarray:
+    """Ground-truth PPV matrix by direct linear solve (columns = PPVs)."""
+    n = graph.num_nodes
+    w = np.zeros((n, n))
+    for u in range(n):
+        succ = graph.successors(u)
+        if succ.size:
+            w[u, succ] = 1.0 / succ.size
+    return alpha * np.linalg.inv(np.eye(n) - (1 - alpha) * w.T)

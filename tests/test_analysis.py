@@ -1,0 +1,97 @@
+"""Unit tests for whole-graph analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    degree_stats,
+    is_vertex_separator,
+    num_weakly_connected_components,
+    pagerank,
+    ring_digraph,
+    star_digraph,
+    top_pagerank_nodes,
+    weakly_connected_components,
+)
+
+
+class TestPagerank:
+    def test_sums_to_one(self, small_graph):
+        pr = pagerank(small_graph)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-8)
+        assert (pr >= 0).all()
+
+    def test_ring_uniform(self):
+        pr = pagerank(ring_digraph(8))
+        np.testing.assert_allclose(pr, np.full(8, 1 / 8), atol=1e-9)
+
+    def test_star_center_dominates(self):
+        pr = pagerank(star_digraph(9))
+        assert pr[0] > pr[1:].max() * 2
+
+    def test_dangling_mass_redistributed(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])  # node 2 dangles
+        pr = pagerank(g)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_empty_graph(self):
+        assert pagerank(DiGraph.from_edges(0, [])).size == 0
+
+    def test_top_pagerank_nodes(self):
+        top = top_pagerank_nodes(star_digraph(9), 3)
+        assert top[0] == 0
+        assert top.size == 3
+
+    def test_top_k_clamped(self):
+        assert top_pagerank_nodes(ring_digraph(4), 10).size == 4
+
+
+class TestComponents:
+    def test_connected_ring(self):
+        assert num_weakly_connected_components(ring_digraph(6)) == 1
+
+    def test_two_components(self):
+        g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+        labels = weakly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert num_weakly_connected_components(g) == 2
+
+    def test_direction_ignored(self):
+        g = DiGraph.from_edges(3, [(1, 0), (1, 2)])
+        assert num_weakly_connected_components(g) == 1
+
+    def test_empty(self):
+        assert num_weakly_connected_components(DiGraph.from_edges(0, [])) == 0
+
+
+class TestSeparator:
+    def test_valid_separator(self):
+        # 0-1 | 2 | 3-4 : node 2 separates.
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert is_vertex_separator(g, [2], [0, 1], [3, 4])
+
+    def test_invalid_separator(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert not is_vertex_separator(g, [1], [0], [2, 3])
+
+    def test_reverse_edges_also_blocked(self):
+        g = DiGraph.from_edges(3, [(2, 0)])
+        assert not is_vertex_separator(g, [1], [0], [2])
+
+
+class TestDegreeStats:
+    def test_values(self, tiny_graph):
+        stats = degree_stats(tiny_graph)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 7
+        assert stats.avg_out_degree == pytest.approx(1.4)
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.num_dangling == 0
+
+    def test_dangling_counted(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        assert degree_stats(g).num_dangling == 2

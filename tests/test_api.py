@@ -1,0 +1,86 @@
+"""Public API surface and exception hierarchy tests."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ClusterError,
+    ConvergenceError,
+    GraphError,
+    IndexBuildError,
+    PartitionError,
+    QueryError,
+    ReproError,
+    SerializationError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            PartitionError,
+            IndexBuildError,
+            QueryError,
+            ConvergenceError,
+            ClusterError,
+            SerializationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+    def test_core_exports(self):
+        from repro import core
+
+        for name in core.__all__:
+            assert getattr(core, name, None) is not None, name
+
+    def test_partition_exports(self):
+        from repro import partition
+
+        for name in partition.__all__:
+            assert getattr(partition, name, None) is not None, name
+
+    def test_graph_exports(self):
+        from repro import graph
+
+        for name in graph.__all__:
+            assert getattr(graph, name, None) is not None, name
+
+    def test_distributed_exports(self):
+        from repro import distributed
+
+        for name in distributed.__all__:
+            assert getattr(distributed, name, None) is not None, name
+
+    def test_engines_and_approx_exports(self):
+        from repro import approx, engines
+
+        for mod in (engines, approx):
+            for name in mod.__all__:
+                assert getattr(mod, name, None) is not None, name
+
+    def test_bench_harness_importable(self):
+        from repro.bench import ExperimentTable, results_dir
+
+        table = ExperimentTable("t", "title", ["a", "b"])
+        table.add(1, 2.5)
+        rendered = table.render()
+        assert "t: title" in rendered and "2.500" in rendered
+        assert results_dir().is_dir()

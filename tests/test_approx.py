@@ -1,0 +1,97 @@
+"""Tests for the approximate baselines: FastPPV and Monte-Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.approx import build_fastppv_index, monte_carlo_ppv
+from repro.core import power_iteration_ppv
+from repro.errors import IndexBuildError, QueryError
+from repro.metrics import average_l1, l_inf, precision_at_k
+
+
+@pytest.fixture(scope="module")
+def fast100(request):
+    small_graph = request.getfixturevalue("small_graph")
+    return build_fastppv_index(small_graph, 20, tol=1e-7)
+
+
+class TestFastPPV:
+    def test_full_expansion_near_exact(self, small_graph, fast100, reference_ppv):
+        for u in (0, 50, 150):
+            vec, info = fast100.query_detailed(u, frontier_cutoff=1e-12)
+            assert l_inf(vec, reference_ppv(u)) < 1e-5
+            assert info.residual_mass < 1e-6
+
+    def test_budget_trades_accuracy(self, fast100, reference_ppv):
+        u = 42
+        ref = reference_ppv(u)
+        errs = []
+        for budget in (0, 2, 50, 10_000):
+            vec = fast100.query(u, max_expansions=budget)
+            errs.append(average_l1(vec, ref))
+        assert errs[-1] <= errs[0] + 1e-12  # more budget never hurts
+        assert errs[-1] < 1e-6
+
+    def test_residual_bounds_error(self, fast100, reference_ppv):
+        u = 13
+        vec, info = fast100.query_detailed(u, max_expansions=1)
+        err_total = np.abs(vec - reference_ppv(u)).sum()
+        # Unexpanded frontier mass bounds the missing tour weight.
+        assert err_total <= info.residual_mass + 1e-4
+
+    def test_more_hubs_fewer_residuals(self, small_graph, fast100):
+        big = build_fastppv_index(small_graph, 60, tol=1e-7)
+        u = 7
+        _, few = fast100.query_detailed(u, max_expansions=10)
+        _, many = big.query_detailed(u, max_expansions=10)
+        # More hubs capture more structure per expansion on average;
+        # at minimum both runs stay well-formed.
+        assert few.residual_mass >= 0 and many.residual_mass >= 0
+
+    def test_top_k_quality(self, fast100, reference_ppv):
+        vec = fast100.query(99)
+        assert precision_at_k(vec, reference_ppv(99), 20) >= 0.9
+
+    def test_bad_args(self, small_graph, fast100):
+        with pytest.raises(IndexBuildError):
+            build_fastppv_index(small_graph, 0)
+        with pytest.raises(QueryError):
+            fast100.query(10_000)
+
+    def test_index_size_accounted(self, fast100):
+        assert fast100.total_bytes() > 0
+
+
+class TestMonteCarlo:
+    def test_concentrates_with_walks(self, small_graph, reference_ppv):
+        ref = reference_ppv(3)
+        coarse = monte_carlo_ppv(small_graph, 3, num_walks=500, seed=0)
+        fine = monte_carlo_ppv(small_graph, 3, num_walks=50_000, seed=0)
+        assert average_l1(fine, ref) < average_l1(coarse, ref)
+        assert l_inf(fine, ref) < 0.01
+
+    def test_is_distribution(self, small_graph):
+        vec = monte_carlo_ppv(small_graph, 0, num_walks=2000, seed=1)
+        assert vec.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (vec >= 0).all()
+
+    def test_deterministic_by_seed(self, small_graph):
+        a = monte_carlo_ppv(small_graph, 5, num_walks=1000, seed=7)
+        b = monte_carlo_ppv(small_graph, 5, num_walks=1000, seed=7)
+        np.testing.assert_array_equal(a, b)
+        c = monte_carlo_ppv(small_graph, 5, num_walks=1000, seed=8)
+        assert not np.array_equal(a, c)
+
+    def test_dangling_counts_at_node(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph.from_edges(2, [(0, 1)])
+        vec = monte_carlo_ppv(g, 0, num_walks=5000, seed=2)
+        assert vec.sum() == pytest.approx(1.0, abs=1e-9)
+        assert vec[1] > 0.5  # most walks stick at the dangling node
+
+    def test_bad_args(self, small_graph):
+        with pytest.raises(QueryError):
+            monte_carlo_ppv(small_graph, -1)
+        with pytest.raises(QueryError):
+            monte_carlo_ppv(small_graph, 0, num_walks=0)

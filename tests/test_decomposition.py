@@ -1,0 +1,140 @@
+"""Unit tests for the Jeh–Widom decomposition primitives (Eqs. 8–10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    as_view,
+    expected_iterations,
+    partial_vectors,
+    skeleton_columns,
+    skeleton_single_hub,
+    skeleton_vectors_dp,
+)
+from repro.errors import ConvergenceError
+from repro.graph import DiGraph, VirtualSubgraph
+
+from conftest import dense_ppv_matrix
+
+ALPHA = 0.15
+TOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def truth(request):
+    return None
+
+
+class TestPartialVectors:
+    def test_no_hubs_gives_local_ppv(self, tiny_graph):
+        view = as_view(tiny_graph)
+        d, _ = partial_vectors(view, np.array([], dtype=np.int64), np.arange(5), tol=TOL)
+        np.testing.assert_allclose(d, dense_ppv_matrix(tiny_graph), atol=1e-9)
+
+    def test_hubs_theorem_identity(self, tiny_graph):
+        """r_u == p_u + (1/α)·Σ_h (s_u(h) − α f) · (p_h − α x_h)  (Eq. 4)."""
+        truth = dense_ppv_matrix(tiny_graph)
+        hubs = np.array([1, 2])
+        view = as_view(tiny_graph)
+        d, _ = partial_vectors(view, hubs, np.arange(5), tol=TOL)
+        s = skeleton_columns(view, hubs, tol=1e-10)
+        for u in range(5):
+            r = d[:, u].copy()
+            for j, h in enumerate(hubs.tolist()):
+                weight = s[u, j] - (ALPHA if u == h else 0.0)
+                adjusted = d[:, h].copy()
+                adjusted[h] -= ALPHA
+                r += (weight / ALPHA) * adjusted
+            np.testing.assert_allclose(r, truth[:, u], atol=1e-7)
+
+    def test_hub_source_self_mass(self, tiny_graph):
+        """p_h(h) ≥ α: the zero-length tour always contributes."""
+        hubs = np.array([2])
+        d, _ = partial_vectors(as_view(tiny_graph), hubs, hubs, tol=TOL)
+        assert d[2, 0] >= ALPHA - 1e-12
+
+    def test_blocked_beyond_hub(self):
+        # 0 -> 1 -> 2 with hub 1: no partial mass reaches 2.
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        d, e = partial_vectors(as_view(g), np.array([1]), np.array([0]), tol=TOL)
+        assert d[2, 0] == 0.0
+        assert d[1, 0] == pytest.approx(ALPHA * (1 - ALPHA))  # first passage
+        assert e[1, 0] == pytest.approx(1 - ALPHA)
+
+    def test_restricted_to_subgraph(self, tiny_graph):
+        view = VirtualSubgraph(tiny_graph, [3, 4])
+        d, _ = partial_vectors(view, np.array([], dtype=np.int64), np.array([0]), tol=TOL)
+        assert d.shape == (2, 1)
+        assert d[0, 0] == pytest.approx(ALPHA)  # node 3: own mass only
+
+    def test_columns_independent_of_batching(self, small_graph):
+        view = as_view(small_graph)
+        hubs = np.array([5, 10])
+        batch, _ = partial_vectors(view, hubs, np.array([0, 1, 2]), tol=1e-9)
+        for j, u in enumerate([0, 1, 2]):
+            single, _ = partial_vectors(view, hubs, np.array([u]), tol=1e-9)
+            np.testing.assert_allclose(batch[:, j], single[:, 0], atol=1e-12)
+
+    def test_empty_sources(self, tiny_graph):
+        d, e = partial_vectors(as_view(tiny_graph), np.array([0]), np.array([], dtype=np.int64))
+        assert d.shape == (5, 0) and e.shape == (5, 0)
+
+    def test_max_iter(self, tiny_graph):
+        with pytest.raises(ConvergenceError):
+            partial_vectors(as_view(tiny_graph), np.array([], dtype=np.int64),
+                            np.array([0]), tol=1e-12, max_iter=2)
+
+
+class TestSkeleton:
+    def test_equals_ppv_column(self, tiny_graph):
+        """Theorem 6: F converges to s_u(h) = r_u(h) for every u."""
+        truth = dense_ppv_matrix(tiny_graph)
+        hubs = np.array([0, 2, 4])
+        f = skeleton_columns(as_view(tiny_graph), hubs, tol=1e-10)
+        for j, h in enumerate(hubs.tolist()):
+            np.testing.assert_allclose(f[:, j], truth[h, :], atol=1e-8)
+
+    def test_single_hub_matches_batched(self, small_graph):
+        view = as_view(small_graph)
+        hubs = np.array([3, 17, 90])
+        f = skeleton_columns(view, hubs, tol=1e-9)
+        for j, h in enumerate(hubs.tolist()):
+            col = skeleton_single_hub(view, h, tol=1e-9)
+            np.testing.assert_allclose(col, f[:, j], atol=1e-12)
+
+    def test_original_dp_agrees(self, tiny_graph):
+        """Eq. 10 (the memory-hungry original) computes the same values."""
+        hubs = np.array([1, 3])
+        view = as_view(tiny_graph)
+        a = skeleton_columns(view, hubs, tol=1e-10)
+        b = skeleton_vectors_dp(view, hubs, tol=1e-10)
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_local_skeleton_within_subgraph(self, tiny_graph):
+        """Skeletons on a view are local PPV values of that view."""
+        view = VirtualSubgraph(tiny_graph, [2, 3, 4])
+        f = skeleton_columns(view, np.array([view.to_local(2)]), tol=1e-10)
+        sub = tiny_graph.induced([2, 3, 4])  # same wiring, but degrees differ
+        assert f[view.to_local(2), 0] >= ALPHA
+        # value from node 3 (local): walk 3->4->2 with original degrees
+        expected = ALPHA * (1 - ALPHA) ** 2  # deg(3)=deg(4)=1
+        assert f[view.to_local(3), 0] >= expected - 1e-9
+
+    def test_empty_hubs(self, tiny_graph):
+        f = skeleton_columns(as_view(tiny_graph), np.array([], dtype=np.int64))
+        assert f.shape == (5, 0)
+
+    def test_max_iter(self, tiny_graph):
+        with pytest.raises(ConvergenceError):
+            skeleton_columns(as_view(tiny_graph), np.array([0]), tol=1e-12, max_iter=1)
+
+
+class TestExpectedIterations:
+    def test_monotone_in_tol(self):
+        assert expected_iterations(0.15, 1e-6) > expected_iterations(0.15, 1e-2)
+
+    def test_monotone_in_alpha(self):
+        assert expected_iterations(0.05, 1e-4) > expected_iterations(0.5, 1e-4)
+
+    def test_tol_one(self):
+        assert expected_iterations(0.15, 1.0) == 1

@@ -1,0 +1,153 @@
+"""Unit tests for the CSR digraph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, build_csr
+
+
+class TestBuildCsr:
+    def test_simple(self):
+        indptr, indices = build_csr(3, np.array([0, 0, 1]), np.array([1, 2, 2]))
+        assert indptr.tolist() == [0, 2, 3, 3]
+        assert indices.tolist() == [1, 2, 2]
+
+    def test_dedup_removes_parallel_edges(self):
+        indptr, indices = build_csr(2, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        assert indices.tolist() == [1]
+
+    def test_dedup_disabled_keeps_parallel_edges(self):
+        _, indices = build_csr(2, np.array([0, 0]), np.array([1, 1]), dedup=False)
+        assert indices.tolist() == [1, 1]
+
+    def test_rows_sorted(self):
+        _, indices = build_csr(4, np.array([1, 0, 1]), np.array([3, 2, 0]))
+        assert indices.tolist() == [2, 0, 3]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            build_csr(2, np.array([0]), np.array([5]))
+        with pytest.raises(GraphError):
+            build_csr(2, np.array([-1]), np.array([0]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphError):
+            build_csr(2, np.array([0, 1]), np.array([1]))
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            build_csr(-1, np.array([]), np.array([]))
+
+
+class TestDiGraph:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.num_nodes == 5
+        assert tiny_graph.num_edges == 7
+
+    def test_successors_sorted(self, tiny_graph):
+        assert tiny_graph.successors(1).tolist() == [2, 3]
+        assert tiny_graph.successors(2).tolist() == [0, 3]
+
+    def test_out_degree(self, tiny_graph):
+        assert tiny_graph.out_degree(1) == 2
+        assert tiny_graph.out_degree(4) == 1
+        assert tiny_graph.out_degrees.tolist() == [1, 2, 2, 1, 1]
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 4)
+
+    def test_edges_iteration(self, tiny_graph):
+        edges = set(tiny_graph.edges())
+        assert (2, 3) in edges and len(edges) == 7
+
+    def test_edge_arrays_roundtrip(self, tiny_graph):
+        src, dst = tiny_graph.edge_arrays()
+        rebuilt = DiGraph.from_arrays(5, src, dst)
+        assert rebuilt == tiny_graph
+
+    def test_from_edges_empty(self):
+        g = DiGraph.from_edges(3, [])
+        assert g.num_nodes == 3 and g.num_edges == 0
+
+    def test_node_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.successors(99)
+        with pytest.raises(GraphError):
+            tiny_graph.out_degree(-1)
+
+    def test_bad_edges_shape(self):
+        with pytest.raises(GraphError):
+            DiGraph.from_edges(3, [(1, 2, 3)])
+
+    def test_invalid_indptr(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([1, 0]), np.array([], dtype=np.int64))
+        with pytest.raises(GraphError):
+            DiGraph(np.array([0, 2, 1]), np.array([0, 1], dtype=np.int64))
+
+    def test_equality_and_hash(self, tiny_graph):
+        other = DiGraph.from_edges(5, list(tiny_graph.edges()))
+        assert other == tiny_graph
+        assert hash(other) == hash(tiny_graph)
+        assert tiny_graph != DiGraph.from_edges(5, [(0, 1)])
+
+
+class TestTransitionMatrices:
+    def test_transition_rows_stochastic(self, tiny_graph):
+        wt = tiny_graph.transition_T()
+        col_sums = np.asarray(wt.sum(axis=0)).ravel()
+        # Wᵀ columns = W rows: each non-dangling row sums to 1.
+        np.testing.assert_allclose(col_sums, np.ones(5))
+
+    def test_dangling_row_is_zero(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        wt = g.transition_T()
+        assert np.asarray(wt.sum(axis=0)).ravel()[1] == 0.0
+
+    def test_in_csr_is_transpose(self, tiny_graph):
+        diff = (tiny_graph.in_csr() - tiny_graph.out_csr().T).toarray()
+        assert np.abs(diff).max() == 0
+
+    def test_undirected_counts_multiplicity(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        u = g.undirected_csr()
+        assert u[0, 1] == 2.0
+
+
+class TestTransformations:
+    def test_self_loop_policy_fixes_dangling(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        fixed = g.with_dangling_policy("self_loop")
+        assert fixed.dangling_nodes().size == 0
+        assert fixed.has_edge(2, 2)
+        assert fixed.num_edges == 3
+
+    def test_absorb_policy_is_identity(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        assert g.with_dangling_policy("absorb") is g
+
+    def test_no_dangling_no_change(self, tiny_graph):
+        assert tiny_graph.with_dangling_policy("self_loop") is tiny_graph
+
+    def test_unknown_policy(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.with_dangling_policy("bounce")
+
+    def test_reverse(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert rev.num_edges == tiny_graph.num_edges
+        assert rev.has_edge(1, 0) and not rev.has_edge(0, 1)
+        assert rev.reverse() == tiny_graph
+
+    def test_induced(self, tiny_graph):
+        sub = tiny_graph.induced([2, 3, 4])
+        assert sub.num_nodes == 3
+        # edges among {2,3,4}: 2->3, 3->4, 4->2 relabelled to 0,1,2
+        assert set(sub.edges()) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_induced_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.induced([0, 99])

@@ -1,0 +1,176 @@
+"""Tests for the simulated cluster and the distributed GPA/HGPA runtimes.
+
+The contracts under test are the paper's headline properties: distributed
+results equal centralized ones, each machine communicates with the
+coordinator exactly once per query (Theorem 4's O(n·|V|) bound), storage
+partitions without duplication, and pre-computation splits evenly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseVec, build_gpa_index, build_hgpa_index
+from repro.distributed import (
+    CostModel,
+    DistributedGPA,
+    DistributedHGPA,
+    Machine,
+    NetworkMeter,
+    precompute_report,
+)
+from repro.errors import ClusterError, QueryError
+
+from conftest import EXACT_ATOL
+
+
+@pytest.fixture(scope="module")
+def dist_hgpa(request):
+    index = request.getfixturevalue("hgpa_small")
+    return DistributedHGPA(index, 4)
+
+
+@pytest.fixture(scope="module")
+def dist_gpa(request):
+    index = request.getfixturevalue("gpa_small")
+    return DistributedGPA(index, 4)
+
+
+class TestMachine:
+    def test_put_get(self):
+        m = Machine(0)
+        vec = SparseVec.one_hot(3)
+        m.put(("hub", 3), vec, build_seconds=0.5)
+        assert m.get(("hub", 3)) is vec
+        assert m.offline_seconds == 0.5
+        assert m.stored_bytes == vec.wire_bytes
+        assert m.stored_vectors == 1
+
+    def test_duplicate_key_rejected(self):
+        m = Machine(0)
+        m.put(("hub", 1), SparseVec.one_hot(1))
+        with pytest.raises(ClusterError):
+            m.put(("hub", 1), SparseVec.one_hot(1))
+
+    def test_missing_key(self):
+        with pytest.raises(ClusterError):
+            Machine(0).get(("hub", 9))
+
+    def test_accumulate_counts_entries(self):
+        m = Machine(0)
+        m.put(("leaf", 0), SparseVec(np.array([0, 1]), np.array([1.0, 2.0])))
+        acc = np.zeros(3)
+        n = m.accumulate(acc, ("leaf", 0), 2.0)
+        assert n == 2 and m.query_entries == 2
+        assert acc.tolist() == [2.0, 4.0, 0.0]
+
+
+class TestNetworkMeter:
+    def test_accounting(self):
+        meter = NetworkMeter()
+        meter.record("machine-0", "coordinator", 1024)
+        meter.record("machine-1", "coordinator", 1024)
+        assert meter.total_bytes == 2048
+        assert meter.total_messages == 2
+        assert meter.total_kilobytes == pytest.approx(2.0)
+        meter.reset()
+        assert meter.total_bytes == 0
+
+
+class TestCostModel:
+    def test_monotone(self):
+        cm = CostModel()
+        assert cm.compute_seconds(2_000_000) > cm.compute_seconds(1_000)
+        assert cm.transfer_seconds(10_000, 1) > cm.transfer_seconds(100, 1)
+
+    def test_latency_per_message(self):
+        cm = CostModel(latency_seconds=0.01)
+        assert cm.transfer_seconds(0, 5) == pytest.approx(0.05)
+
+
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("u", [0, 42, 150, 199])
+    def test_hgpa_equals_centralized(self, dist_hgpa, hgpa_small, u):
+        vec, _ = dist_hgpa.query(u)
+        np.testing.assert_allclose(vec, hgpa_small.query(u), atol=1e-9)
+
+    @pytest.mark.parametrize("u", [0, 42, 150, 199])
+    def test_gpa_equals_centralized(self, dist_gpa, gpa_small, u):
+        vec, _ = dist_gpa.query(u)
+        np.testing.assert_allclose(vec, gpa_small.query(u), atol=1e-9)
+
+    def test_hub_query_distributed(self, dist_hgpa, reference_ppv):
+        hub = int(dist_hgpa.index.hierarchy.hub_nodes()[0])
+        vec, _ = dist_hgpa.query(hub)
+        assert np.abs(vec - reference_ppv(hub)).max() < EXACT_ATOL
+
+    @pytest.mark.parametrize("machines", [1, 2, 7])
+    def test_any_machine_count(self, hgpa_small, reference_ppv, machines):
+        dep = DistributedHGPA(hgpa_small, machines)
+        vec, _ = dep.query(33)
+        assert np.abs(vec - reference_ppv(33)).max() < EXACT_ATOL
+
+    def test_bad_query(self, dist_hgpa, dist_gpa):
+        for dep in (dist_hgpa, dist_gpa):
+            with pytest.raises(QueryError):
+                dep.query(12_345)
+
+
+class TestCommunicationBound:
+    def test_one_message_per_machine(self, dist_hgpa):
+        dist_hgpa.coordinator.meter.reset()
+        _, report = dist_hgpa.query(10)
+        # one payload per machine + the tiny broadcast
+        assert len(report.per_machine_bytes) == dist_hgpa.num_machines
+        assert dist_hgpa.coordinator.meter.total_messages == 2 * dist_hgpa.num_machines
+
+    def test_theorem4_bound(self, dist_hgpa):
+        """Each machine's vector has at most |V| entries: O(n·|V|) total."""
+        _, report = dist_hgpa.query(10)
+        n = dist_hgpa.num_nodes
+        per_vector_cap = 16 + 12 * n
+        for nbytes in report.per_machine_bytes:
+            assert nbytes <= per_vector_cap
+        assert report.communication_bytes <= dist_hgpa.num_machines * (
+            per_vector_cap + 8
+        )
+
+    def test_report_fields(self, dist_hgpa):
+        _, report = dist_hgpa.query(77)
+        assert report.runtime_seconds > 0
+        assert report.wall_seconds > 0
+        assert report.communication_kb == report.communication_bytes / 1024
+        assert report.load_imbalance >= 1.0
+
+
+class TestDeployment:
+    def test_validate(self, dist_hgpa, dist_gpa):
+        dist_hgpa.validate_deployment()
+        dist_gpa.validate_deployment()
+
+    def test_no_duplicated_storage(self, hgpa_small):
+        dep = DistributedHGPA(hgpa_small, 3)
+        assert dep.total_stored_bytes() == hgpa_small.total_bytes()
+
+    def test_space_shrinks_with_machines(self, hgpa_small):
+        small = DistributedHGPA(hgpa_small, 2).max_machine_bytes()
+        large = DistributedHGPA(hgpa_small, 8).max_machine_bytes()
+        assert large < small
+
+    def test_offline_split(self, hgpa_small):
+        dep = DistributedHGPA(hgpa_small, 4)
+        report = precompute_report(dep)
+        assert report.num_machines == 4
+        assert report.makespan_seconds <= report.total_seconds
+        assert report.total_seconds == pytest.approx(
+            hgpa_small.offline_seconds(), rel=1e-6
+        )
+        assert 0.0 < report.parallel_efficiency <= 1.0
+
+    def test_offline_makespan_shrinks(self, hgpa_small):
+        m2 = precompute_report(DistributedHGPA(hgpa_small, 2)).makespan_seconds
+        m8 = precompute_report(DistributedHGPA(hgpa_small, 8)).makespan_seconds
+        assert m8 < m2
+
+    def test_cluster_needs_machines(self, hgpa_small):
+        with pytest.raises(ClusterError):
+            DistributedHGPA(hgpa_small, 0)

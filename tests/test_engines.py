@@ -1,0 +1,128 @@
+"""Tests for the Pregel+/Blogel engine baselines (Section 6.2.8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import expected_iterations, power_iteration_ppv
+from repro.engines import (
+    BlogelPPR,
+    PregelPPR,
+    cross_machine_message_counts,
+    hash_machine_assignment,
+)
+from repro.errors import ClusterError, QueryError
+from repro.graph import DiGraph, ring_digraph
+from repro.metrics import l_inf
+
+
+class TestAssignment:
+    def test_hash_round_robin(self):
+        a = hash_machine_assignment(10, 3)
+        assert a.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_needs_machines(self):
+        with pytest.raises(ClusterError):
+            hash_machine_assignment(5, 0)
+
+    def test_combiner_reduces_messages(self, medium_graph):
+        machine_of = hash_machine_assignment(medium_graph.num_nodes, 4)
+        combined, raw = cross_machine_message_counts(
+            medium_graph, machine_of, combiner=True
+        )
+        assert combined <= raw
+        same, raw2 = cross_machine_message_counts(
+            medium_graph, machine_of, combiner=False
+        )
+        assert same == raw2 == raw
+
+    def test_single_machine_no_traffic(self, small_graph):
+        machine_of = hash_machine_assignment(small_graph.num_nodes, 1)
+        combined, raw = cross_machine_message_counts(small_graph, machine_of)
+        assert combined == 0 and raw == 0
+
+
+class TestPregel:
+    def test_result_matches_power_iteration(self, small_graph):
+        ref = power_iteration_ppv(small_graph, 5, tol=1e-8)
+        vec, report = PregelPPR(small_graph, 4).query(5, tol=1e-8)
+        assert l_inf(vec, ref) < 1e-10  # identical fixed-point iteration
+
+    def test_superstep_count_matches_theory(self, small_graph):
+        """Supersteps grow like log(1/ε)/log(1/(1-α)); the theory count is
+        an upper bound (per-entry deltas shrink faster than total mass)."""
+        _, report = PregelPPR(small_graph, 4).query(5, tol=1e-6)
+        theory = expected_iterations(0.15, 1e-6)
+        assert 5 <= report.supersteps <= theory + 5
+
+    def test_communication_grows_per_superstep(self, small_graph):
+        engine = PregelPPR(small_graph, 4)
+        _, report = engine.query(5, tol=1e-4)
+        assert report.communication_bytes == (
+            report.supersteps * engine.per_superstep_bytes
+        )
+
+    def test_more_machines_more_traffic(self, medium_graph):
+        b2 = PregelPPR(medium_graph, 2).per_superstep_bytes
+        b8 = PregelPPR(medium_graph, 8).per_superstep_bytes
+        assert b8 >= b2
+
+    def test_tighter_tol_more_supersteps(self, small_graph):
+        engine = PregelPPR(small_graph, 2)
+        _, loose = engine.query(5, tol=1e-2)
+        _, tight = engine.query(5, tol=1e-6)
+        assert tight.supersteps > loose.supersteps
+
+    def test_bad_query(self, small_graph):
+        with pytest.raises(QueryError):
+            PregelPPR(small_graph, 2).query(10_000)
+
+
+class TestBlogel:
+    def test_result_matches_power_iteration(self, small_graph):
+        ref = power_iteration_ppv(small_graph, 5, tol=1e-8)
+        vec, _ = BlogelPPR(small_graph, 4).query(5, tol=1e-8)
+        assert l_inf(vec, ref) < 1e-6
+
+    def test_fewer_supersteps_than_pregel(self, small_graph):
+        _, pregel = PregelPPR(small_graph, 4).query(5, tol=1e-6)
+        _, blogel = BlogelPPR(small_graph, 4).query(5, tol=1e-6)
+        assert blogel.supersteps < pregel.supersteps
+
+    def test_less_communication_than_pregel(self, small_graph):
+        _, pregel = PregelPPR(small_graph, 4).query(5, tol=1e-6)
+        _, blogel = BlogelPPR(small_graph, 4).query(5, tol=1e-6)
+        assert blogel.communication_bytes < pregel.communication_bytes
+
+    def test_single_machine_no_traffic(self, small_graph):
+        engine = BlogelPPR(small_graph, 1, num_blocks=4)
+        assert engine.per_superstep_bytes == 0
+
+    def test_ring(self):
+        g = ring_digraph(20)
+        ref = power_iteration_ppv(g, 0, tol=1e-8)
+        vec, _ = BlogelPPR(g, 2).query(0, tol=1e-8)
+        assert l_inf(vec, ref) < 1e-6
+
+    def test_disconnected_graph(self):
+        g = DiGraph.from_edges(6, [(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4)])
+        ref = power_iteration_ppv(g, 0, tol=1e-9)
+        vec, _ = BlogelPPR(g, 2).query(0, tol=1e-9)
+        assert l_inf(vec, ref) < 1e-6
+
+    def test_bad_query(self, small_graph):
+        with pytest.raises(QueryError):
+            BlogelPPR(small_graph, 2).query(-1)
+
+
+class TestReports:
+    def test_report_fields(self, small_graph):
+        _, report = PregelPPR(small_graph, 3).query(1, tol=1e-4)
+        assert report.engine == "pregel+"
+        assert report.runtime_seconds > 0
+        assert report.wall_seconds > 0
+        assert report.communication_kb == report.communication_bytes / 1024
+        assert report.max_machine_edges > 0
+
+    def test_no_combiner_label(self, small_graph):
+        _, report = PregelPPR(small_graph, 3, combiner=False).query(1, tol=1e-2)
+        assert report.engine == "pregel"

@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    complete_digraph,
+    erdos_renyi_digraph,
+    hierarchical_community_digraph,
+    meetup_like_digraph,
+    preferential_attachment_digraph,
+    ring_digraph,
+    star_digraph,
+)
+
+
+class TestHierarchicalCommunity:
+    def test_deterministic(self):
+        a = hierarchical_community_digraph(500, seed=4)
+        b = hierarchical_community_digraph(500, seed=4)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = hierarchical_community_digraph(500, seed=4)
+        b = hierarchical_community_digraph(500, seed=5)
+        assert a != b
+
+    def test_size_and_density(self):
+        g = hierarchical_community_digraph(1000, avg_out_degree=4.0, seed=1)
+        assert g.num_nodes == 1000
+        assert 2.0 <= g.num_edges / 1000 <= 6.0
+
+    def test_no_isolated_nodes(self):
+        g = hierarchical_community_digraph(600, seed=2)
+        assert (g.out_degrees > 0).all()
+
+    def test_no_self_loops(self):
+        g = hierarchical_community_digraph(300, seed=7)
+        src, dst = g.edge_arrays()
+        assert (src != dst).all()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            hierarchical_community_digraph(4, depth=5)
+
+    def test_separable_structure(self):
+        """Community structure must yield balanced cuts far below random."""
+        from repro.partition import multilevel_bisect, ugraph_from_digraph
+
+        g = hierarchical_community_digraph(600, avg_out_degree=4, seed=11)
+        ug = ugraph_from_digraph(g)
+        labels = multilevel_bisect(ug, seed=0)
+        cut = ug.cut_weight(labels)
+        assert cut < 0.25 * g.num_edges  # random graphs cut ≈ 50%
+
+    def test_degree_skew(self):
+        g = hierarchical_community_digraph(1000, avg_out_degree=5, seed=3)
+        in_deg = np.asarray(g.in_csr().sum(axis=1)).ravel()
+        assert in_deg.max() >= 5 * in_deg.mean()
+
+
+class TestMeetupLike:
+    def test_density_and_determinism(self):
+        a = meetup_like_digraph(300, 400, seed=6)
+        b = meetup_like_digraph(300, 400, seed=6)
+        assert a == b
+        assert a.num_edges / a.num_nodes > 5  # clique-heavy
+
+    def test_more_events_more_edges(self):
+        small = meetup_like_digraph(300, 200, seed=6)
+        large = meetup_like_digraph(300, 800, seed=6)
+        assert large.num_edges > small.num_edges
+
+    def test_no_isolated(self):
+        g = meetup_like_digraph(200, 100, seed=1)
+        assert (g.out_degrees > 0).all()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            meetup_like_digraph(4, 10, depth=4)
+
+
+class TestClassicGenerators:
+    def test_erdos_renyi(self):
+        g = erdos_renyi_digraph(100, 500, seed=0)
+        assert g.num_nodes == 100
+        assert 350 <= g.num_edges <= 500  # dedup + self-loop removal
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment_digraph(200, out_per_node=3, seed=0)
+        assert g.num_nodes == 200
+        in_deg = np.asarray(g.in_csr().sum(axis=1)).ravel()
+        assert in_deg.max() > 10  # heavy-tailed
+
+    def test_preferential_attachment_needs_two(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_digraph(1)
+
+    def test_ring(self):
+        g = ring_digraph(5)
+        assert g.num_edges == 5
+        assert g.has_edge(4, 0)
+
+    def test_star(self):
+        g = star_digraph(6)
+        assert g.out_degree(0) == 5
+        assert all(g.has_edge(i, 0) for i in range(1, 6))
+
+    def test_complete(self):
+        g = complete_digraph(4)
+        assert g.num_edges == 12
+        assert not g.has_edge(2, 2)

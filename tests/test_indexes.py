@@ -1,0 +1,155 @@
+"""Exactness and behaviour tests for the three PPV indexes (Theorems 1, 3).
+
+PPV-JW, GPA and HGPA must all return the power-iteration PPV, for non-hub
+*and* hub query nodes, at every hierarchy shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_gpa_index,
+    build_hgpa_ad_index,
+    build_hgpa_index,
+    build_jw_index,
+    power_iteration_ppv,
+)
+from repro.errors import IndexBuildError, QueryError
+from repro.graph import hierarchical_community_digraph
+from repro.metrics import average_l1, l_inf
+
+from conftest import EXACT_ATOL, TIGHT_TOL
+
+QUERIES = [0, 13, 57, 101, 166, 199]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("u", QUERIES)
+    def test_jw_matches_power_iteration(self, jw_small, reference_ppv, u):
+        assert l_inf(jw_small.query(u), reference_ppv(u)) < EXACT_ATOL
+
+    @pytest.mark.parametrize("u", QUERIES)
+    def test_gpa_matches_power_iteration(self, gpa_small, reference_ppv, u):
+        assert l_inf(gpa_small.query(u), reference_ppv(u)) < EXACT_ATOL
+
+    @pytest.mark.parametrize("u", QUERIES)
+    def test_hgpa_matches_power_iteration(self, hgpa_small, reference_ppv, u):
+        assert l_inf(hgpa_small.query(u), reference_ppv(u)) < EXACT_ATOL
+
+    def test_hgpa_equals_gpa_equals_jw(self, hgpa_small, gpa_small, jw_small):
+        """Theorems 1 and 3: all formulations compute the same vector."""
+        for u in (7, 42):
+            a, b, c = hgpa_small.query(u), gpa_small.query(u), jw_small.query(u)
+            assert l_inf(a, b) < EXACT_ATOL
+            assert l_inf(b, c) < EXACT_ATOL
+
+    def test_hub_queries_exact(self, hgpa_small, gpa_small, jw_small, reference_ppv):
+        for index in (hgpa_small, gpa_small, jw_small):
+            hubs = index.hubs if hasattr(index, "hubs") else index.hierarchy.hub_nodes()
+            for h in np.asarray(hubs)[:8].tolist():
+                assert l_inf(index.query(h), reference_ppv(h)) < EXACT_ATOL
+
+    def test_every_node_once(self, small_graph, hgpa_small, reference_ppv):
+        """Full sweep: all 200 query nodes exact."""
+        for u in range(small_graph.num_nodes):
+            assert l_inf(hgpa_small.query(u), reference_ppv(u)) < EXACT_ATOL
+
+
+class TestHierarchyShapes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        g = hierarchical_community_digraph(400, avg_out_degree=4, seed=21)
+        return g.with_dangling_policy("self_loop")
+
+    @pytest.mark.parametrize("max_levels", [1, 2, 4])
+    def test_capped_levels_exact(self, graph, max_levels):
+        index = build_hgpa_index(graph, tol=TIGHT_TOL, max_levels=max_levels, seed=1)
+        for u in (0, 111, 333):
+            ref = power_iteration_ppv(graph, u, tol=TIGHT_TOL)
+            assert l_inf(index.query(u), ref) < EXACT_ATOL
+
+    @pytest.mark.parametrize("fanout", [3, 4])
+    def test_multiway_exact(self, graph, fanout):
+        index = build_hgpa_index(
+            graph, tol=TIGHT_TOL, fanout=fanout, max_levels=3, seed=1
+        )
+        for u in (5, 200):
+            ref = power_iteration_ppv(graph, u, tol=TIGHT_TOL)
+            assert l_inf(index.query(u), ref) < EXACT_ATOL
+
+    def test_gpa_various_parts(self, graph):
+        for parts in (2, 6):
+            index = build_gpa_index(graph, parts, tol=TIGHT_TOL, seed=2)
+            ref = power_iteration_ppv(graph, 17, tol=TIGHT_TOL)
+            assert l_inf(index.query(17), ref) < EXACT_ATOL
+
+
+class TestToleranceAndPruning:
+    def test_accuracy_tracks_tolerance(self, small_graph):
+        """Fig. 19's claim: the ℓ-norm error is of the tolerance's order."""
+        errors = {}
+        for tol in (1e-2, 1e-4, 1e-6):
+            index = build_hgpa_index(small_graph, tol=tol, seed=0)
+            ref = power_iteration_ppv(small_graph, 3, tol=1e-12)
+            errors[tol] = l_inf(index.query(3), ref)
+        assert errors[1e-4] <= errors[1e-2] + 1e-12
+        assert errors[1e-6] <= errors[1e-4] + 1e-12
+        assert errors[1e-6] < 1e-4
+
+    def test_hgpa_ad_prunes_space(self, small_graph):
+        exact = build_hgpa_index(small_graph, tol=1e-8, seed=0)
+        adapted = build_hgpa_ad_index(small_graph, tol=1e-8, seed=0)
+        assert adapted.prune == pytest.approx(1e-4)
+        assert adapted.total_nnz() < exact.total_nnz()
+        ref = power_iteration_ppv(small_graph, 9, tol=1e-10)
+        # Accuracy degrades but stays near the prune threshold's order.
+        assert l_inf(adapted.query(9), ref) < 5e-3
+
+    def test_space_reports(self, hgpa_small, gpa_small):
+        for index in (hgpa_small, gpa_small):
+            report = index.space_report()
+            assert set(report) >= {"hub_partials", "skeleton"}
+            assert index.total_bytes() == sum(report.values())
+            assert index.total_nnz() > 0
+
+    def test_build_costs_recorded(self, hgpa_small):
+        assert hgpa_small.offline_seconds() > 0.0
+        kinds = {key[0] for key in hgpa_small.build_cost}
+        assert kinds == {"hub", "skel", "leaf"}
+
+
+class TestQueryStats:
+    def test_stats_populated(self, hgpa_small):
+        vec, stats = hgpa_small.query_detailed(11)
+        assert stats.entries_processed > 0
+        assert stats.vectors_used >= 1
+        assert stats.skeleton_lookups >= 0
+        assert vec.shape == (hgpa_small.graph.num_nodes,)
+
+    def test_stats_merge(self, hgpa_small):
+        _, a = hgpa_small.query_detailed(11)
+        _, b = hgpa_small.query_detailed(12)
+        total = a.entries_processed + b.entries_processed
+        a.merge(b)
+        assert a.entries_processed == total
+
+
+class TestErrors:
+    def test_bad_query(self, hgpa_small, gpa_small, jw_small):
+        for index in (hgpa_small, gpa_small, jw_small):
+            with pytest.raises(QueryError):
+                index.query(10_000)
+
+    def test_jw_requires_one_hub_spec(self, small_graph):
+        with pytest.raises(IndexBuildError):
+            build_jw_index(small_graph)
+        with pytest.raises(IndexBuildError):
+            build_jw_index(small_graph, num_hubs=3, hubs=np.array([1]))
+
+    def test_gpa_bad_parts(self, small_graph):
+        with pytest.raises(IndexBuildError):
+            build_gpa_index(small_graph, 0)
+
+    def test_hgpa_bad_alpha(self, small_graph):
+        with pytest.raises(IndexBuildError):
+            build_hgpa_index(small_graph, alpha=1.5)

@@ -1,0 +1,91 @@
+"""Unit tests for graph I/O (edge lists and npz archives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DiGraph,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path, header="tiny test graph")
+        back = read_edge_list(path)
+        assert back == tiny_graph
+
+    def test_header_written(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path, header="line1\nline2")
+        text = path.read_text()
+        assert text.startswith("# line1\n# line2\n")
+        assert "# nodes: 5 edges: 7" in text
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# snap header\n\n0 1\n1 2\n# trailing\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 3 and g.num_edges == 2
+
+    def test_relabel_compacts_sparse_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 900\n900 5000\n")
+        g = read_edge_list(path, relabel=True)
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 3\n")
+        g = read_edge_list(path, relabel=False)
+        assert g.num_nodes == 4
+
+    def test_negative_ids_need_relabel(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, relabel=False)
+        assert read_edge_list(path, relabel=True).num_nodes == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n1\t2\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(tiny_graph, path)
+        back = load_npz(path)
+        assert back == tiny_graph
+
+    def test_name_preserved(self, tmp_path):
+        g = DiGraph.from_edges(3, [(0, 1)], name="named")
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path).name == "named"
+
+    def test_bad_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphError):
+            load_npz(path)

@@ -1,0 +1,53 @@
+"""Tests for PPV linearity (preference-set queries)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    normalize_preference,
+    power_iteration_ppv,
+    ppv_for_preference_set,
+)
+from repro.errors import QueryError
+from repro.metrics import l_inf
+
+
+class TestNormalize:
+    def test_normalises(self):
+        w = normalize_preference({1: 2.0, 2: 6.0})
+        assert w == {1: 0.25, 2: 0.75}
+
+    def test_drops_zero_weights(self):
+        assert 3 not in normalize_preference({1: 1.0, 3: 0.0})
+
+    def test_errors(self):
+        with pytest.raises(QueryError):
+            normalize_preference({})
+        with pytest.raises(QueryError):
+            normalize_preference({1: -1.0})
+        with pytest.raises(QueryError):
+            normalize_preference({1: 0.0})
+
+
+class TestLinearity:
+    def test_matches_direct_preference_iteration(self, small_graph, hgpa_small):
+        pref = {3: 1.0, 40: 2.0, 77: 1.0}
+        combined = ppv_for_preference_set(hgpa_small.query, pref)
+        direct = power_iteration_ppv(small_graph, pref, tol=1e-10)
+        assert l_inf(combined, direct) < 1e-6
+
+    def test_single_node_degenerates(self, hgpa_small):
+        combined = ppv_for_preference_set(hgpa_small.query, {5: 7.0})
+        np.testing.assert_allclose(combined, hgpa_small.query(5))
+
+    def test_convexity(self, hgpa_small):
+        """The preference-set PPV is the convex combination of PPVs."""
+        a, b = hgpa_small.query(1), hgpa_small.query(2)
+        mixed = ppv_for_preference_set(hgpa_small.query, {1: 1.0, 2: 3.0})
+        np.testing.assert_allclose(mixed, 0.25 * a + 0.75 * b, atol=1e-12)
+
+    def test_works_with_any_query_backend(self, small_graph, gpa_small):
+        pref = {10: 1.0, 20: 1.0}
+        from_gpa = ppv_for_preference_set(gpa_small.query, pref)
+        direct = power_iteration_ppv(small_graph, pref, tol=1e-10)
+        assert l_inf(from_gpa, direct) < 1e-6

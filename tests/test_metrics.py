@@ -1,0 +1,134 @@
+"""Tests for the accuracy metrics (Sections 6.1 and 6.2.10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.metrics import (
+    average_l1,
+    kendall_tau_at_k,
+    l1,
+    l_inf,
+    precision_at_k,
+    rag_at_k,
+    top_k_nodes,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+class TestNorms:
+    def test_known_values(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 0.0, 7.0])
+        assert l1(a, b) == pytest.approx(6.0)
+        assert average_l1(a, b) == pytest.approx(2.0)
+        assert l_inf(a, b) == pytest.approx(4.0)
+
+    def test_identical_vectors(self):
+        a = np.random.default_rng(0).random(10)
+        assert average_l1(a, a) == 0.0
+        assert l_inf(a, a) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            average_l1(np.zeros(3), np.zeros(4))
+        with pytest.raises(ReproError):
+            l_inf(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty(self):
+        assert average_l1(np.zeros(0), np.zeros(0)) == 0.0
+        assert l_inf(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestTopK:
+    def test_order(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert top_k_nodes(scores, 3).tolist() == [1, 3, 2]
+
+    def test_k_clamped(self):
+        assert top_k_nodes(np.array([1.0, 2.0]), 10).size == 2
+
+    def test_k_zero(self):
+        assert top_k_nodes(np.array([1.0]), 0).size == 0
+
+    def test_ties_by_id(self):
+        scores = np.array([0.5, 0.5, 0.9])
+        assert top_k_nodes(scores, 3).tolist() == [2, 0, 1]
+
+
+class TestPrecision:
+    def test_perfect(self):
+        a = np.array([0.4, 0.3, 0.2, 0.1])
+        assert precision_at_k(a, a, 2) == 1.0
+
+    def test_disjoint(self):
+        a = np.array([1.0, 0.9, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 0.9])
+        assert precision_at_k(a, b, 2) == 0.0
+
+    def test_half(self):
+        a = np.array([1.0, 0.9, 0.1, 0.0])
+        b = np.array([1.0, 0.0, 0.9, 0.0])
+        assert precision_at_k(a, b, 2) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ReproError):
+            precision_at_k(np.zeros(3), np.zeros(3), 0)
+
+
+class TestRag:
+    def test_perfect(self):
+        a = np.array([0.4, 0.3, 0.2])
+        assert rag_at_k(a, a, 2) == pytest.approx(1.0)
+
+    def test_partial(self):
+        exact = np.array([0.5, 0.3, 0.2, 0.0])
+        approx = np.array([0.5, 0.0, 0.0, 0.4])  # picks nodes 0 and 3
+        # captured = 0.5 + 0.0; best = 0.5 + 0.3
+        assert rag_at_k(approx, exact, 2) == pytest.approx(0.5 / 0.8)
+
+    def test_zero_denominator(self):
+        assert rag_at_k(np.array([1.0, 0.0]), np.zeros(2), 1) == 1.0
+
+
+class TestKendall:
+    def test_perfect_agreement(self):
+        a = np.array([0.4, 0.3, 0.2, 0.1])
+        assert kendall_tau_at_k(a, a, 4) == pytest.approx(1.0)
+
+    def test_full_reversal(self):
+        a = np.array([0.1, 0.2, 0.3, 0.4])
+        b = np.array([0.4, 0.3, 0.2, 0.1])
+        assert kendall_tau_at_k(a, b, 4) == pytest.approx(-1.0)
+
+    def test_one_swap(self):
+        exact = np.array([0.4, 0.3, 0.2, 0.1])
+        approx = np.array([0.3, 0.4, 0.2, 0.1])  # swap first two
+        # 6 pairs, 1 discordant: tau = (5-1)/6
+        assert kendall_tau_at_k(approx, exact, 4) == pytest.approx(4 / 6)
+
+    def test_k_validation(self):
+        with pytest.raises(ReproError):
+            kendall_tau_at_k(np.zeros(3), np.zeros(3), -1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_property_bounds_and_symmetry(self, values):
+        a = np.asarray(values)
+        rng = np.random.default_rng(len(values))
+        b = rng.random(a.size)
+        tau = kendall_tau_at_k(a, b, 10)
+        assert -1.0 <= tau <= 1.0
+        assert kendall_tau_at_k(b, a, 10) == pytest.approx(tau)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_property_self_agreement(self, values):
+        a = np.asarray(values)
+        assert kendall_tau_at_k(a, a, 10) == pytest.approx(1.0)
+        assert precision_at_k(a, a, min(5, a.size)) == pytest.approx(1.0)

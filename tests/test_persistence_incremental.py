@@ -1,0 +1,197 @@
+"""Tests for index persistence and incremental edge updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_hgpa_index,
+    delete_edge,
+    insert_edge,
+    load_hgpa_index,
+    power_iteration_ppv,
+    save_hgpa_index,
+)
+from repro.errors import GraphError, QueryError, SerializationError
+from repro.graph import hierarchical_community_digraph
+from repro.metrics import l_inf
+
+from conftest import EXACT_ATOL, TIGHT_TOL
+
+
+class TestPersistence:
+    def test_roundtrip_queries_identical(self, hgpa_small, tmp_path):
+        path = tmp_path / "index.npz"
+        save_hgpa_index(hgpa_small, path)
+        loaded = load_hgpa_index(path)
+        for u in (0, 42, 150):
+            np.testing.assert_array_equal(loaded.query(u), hgpa_small.query(u))
+
+    def test_roundtrip_metadata(self, hgpa_small, tmp_path):
+        path = tmp_path / "index.npz"
+        save_hgpa_index(hgpa_small, path)
+        loaded = load_hgpa_index(path)
+        assert loaded.alpha == hgpa_small.alpha
+        assert loaded.tol == hgpa_small.tol
+        assert loaded.prune == hgpa_small.prune
+        assert loaded.graph == hgpa_small.graph
+        assert loaded.total_bytes() == hgpa_small.total_bytes()
+        assert loaded.total_nnz() == hgpa_small.total_nnz()
+
+    def test_roundtrip_hierarchy(self, hgpa_small, tmp_path):
+        path = tmp_path / "index.npz"
+        save_hgpa_index(hgpa_small, path)
+        loaded = load_hgpa_index(path)
+        loaded.hierarchy.validate()
+        assert (
+            loaded.hierarchy.hub_counts_per_level()
+            == hgpa_small.hierarchy.hub_counts_per_level()
+        )
+        np.testing.assert_array_equal(
+            loaded.hierarchy.hub_level, hgpa_small.hierarchy.hub_level
+        )
+
+    def test_build_costs_survive(self, hgpa_small, tmp_path):
+        path = tmp_path / "index.npz"
+        save_hgpa_index(hgpa_small, path)
+        loaded = load_hgpa_index(path)
+        assert loaded.offline_seconds() == pytest.approx(
+            hgpa_small.offline_seconds(), rel=1e-9
+        )
+
+    def test_distributed_deploys_from_loaded(self, hgpa_small, tmp_path):
+        from repro.distributed import DistributedHGPA
+
+        path = tmp_path / "index.npz"
+        save_hgpa_index(hgpa_small, path)
+        loaded = load_hgpa_index(path)
+        dep = DistributedHGPA(loaded, 3)
+        vec, _ = dep.query(11)
+        np.testing.assert_allclose(vec, hgpa_small.query(11), atol=1e-9)
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(SerializationError):
+            load_hgpa_index(path)
+
+
+@pytest.fixture(scope="module")
+def update_graph():
+    g = hierarchical_community_digraph(300, avg_out_degree=4, seed=13)
+    return g.with_dangling_policy("self_loop")
+
+
+@pytest.fixture(scope="module")
+def update_index(update_graph):
+    return build_hgpa_index(update_graph, tol=TIGHT_TOL, max_levels=4, seed=0)
+
+
+def _assert_exact(index, nodes):
+    for u in nodes:
+        ref = power_iteration_ppv(index.graph, u, tol=TIGHT_TOL)
+        assert l_inf(index.query(u), ref) < EXACT_ATOL, u
+
+
+class TestInsertEdge:
+    def test_same_leaf_insert_exact_and_local(self, update_index):
+        # Pick two nodes in the same leaf: no promotion needed.
+        leaf = next(sg for sg in update_index.hierarchy.leaves() if sg.num_nodes >= 2)
+        u, v = int(leaf.nodes[0]), int(leaf.nodes[1])
+        if update_index.graph.has_edge(u, v):
+            u, v = v, u
+        new_index, stats = insert_edge(update_index, u, v)
+        assert stats.changed and stats.promoted_hub is None
+        assert new_index.graph.has_edge(u, v)
+        assert stats.rebuild_fraction < 0.9  # locality: siblings untouched
+        _assert_exact(new_index, [u, v, 0, 150])
+
+    def test_cross_partition_insert_promotes(self, update_index):
+        """An edge between different top-level children of a non-hub pair
+        must promote the source to a hub — and stay exact."""
+        h = update_index.hierarchy
+        root = h.root
+        assert len(root.children) >= 2
+        hub_set = set(h.hub_nodes().tolist())
+        child_a = h.subgraphs[root.children[0]]
+        child_b = h.subgraphs[root.children[1]]
+        u = next(int(x) for x in child_a.nodes if int(x) not in hub_set)
+        v = next(int(x) for x in child_b.nodes if int(x) not in hub_set)
+        assert not update_index.graph.has_edge(u, v)
+        new_index, stats = insert_edge(update_index, u, v)
+        assert stats.promoted_hub == u
+        assert new_index.hierarchy.is_hub(u)
+        new_index.hierarchy.validate()
+        _assert_exact(new_index, [u, v, 7])
+
+    def test_duplicate_insert_noop(self, update_index):
+        src, dst = update_index.graph.edge_arrays()
+        u, v = int(src[0]), int(dst[0])
+        same, stats = insert_edge(update_index, u, v)
+        assert same is update_index
+        assert not stats.changed
+
+    def test_old_index_still_valid(self, update_index, update_graph):
+        leaf = next(sg for sg in update_index.hierarchy.leaves() if sg.num_nodes >= 2)
+        u, v = int(leaf.nodes[0]), int(leaf.nodes[-1])
+        insert_edge(update_index, u, v)
+        ref = power_iteration_ppv(update_graph, u, tol=TIGHT_TOL)
+        assert l_inf(update_index.query(u), ref) < EXACT_ATOL
+
+    def test_bad_endpoints(self, update_index):
+        with pytest.raises(QueryError):
+            insert_edge(update_index, -1, 0)
+        with pytest.raises(QueryError):
+            insert_edge(update_index, 0, 10_000)
+
+    def test_chained_updates_stay_exact(self, update_index):
+        rng = np.random.default_rng(3)
+        index = update_index
+        for _ in range(3):
+            u = int(rng.integers(0, index.graph.num_nodes))
+            v = int(rng.integers(0, index.graph.num_nodes))
+            if u == v:
+                continue
+            index, _ = insert_edge(index, u, v)
+        _assert_exact(index, [5, 100, 250])
+
+
+class TestDeleteEdge:
+    def test_delete_exact(self, update_index):
+        # Delete an edge whose source keeps at least one other edge.
+        src, dst = update_index.graph.edge_arrays()
+        deg = update_index.graph.out_degrees
+        pick = next(i for i in range(src.size) if deg[src[i]] > 1)
+        u, v = int(src[pick]), int(dst[pick])
+        new_index, stats = delete_edge(update_index, u, v)
+        assert stats.changed
+        assert not new_index.graph.has_edge(u, v)
+        _assert_exact(new_index, [u, v])
+
+    def test_delete_missing_noop(self, update_index):
+        n = update_index.graph.num_nodes
+        for u in range(n):
+            for v in range(n):
+                if u != v and not update_index.graph.has_edge(u, v):
+                    same, stats = delete_edge(update_index, u, v)
+                    assert same is update_index and not stats.changed
+                    return
+
+    def test_delete_would_dangle(self, update_index):
+        deg = update_index.graph.out_degrees
+        u = int(np.argmin(deg))
+        if deg[u] == 1:
+            v = int(update_index.graph.successors(u)[0])
+            with pytest.raises(GraphError):
+                delete_edge(update_index, u, v)
+
+    def test_insert_then_delete_restores(self, update_index):
+        leaf = next(sg for sg in update_index.hierarchy.leaves() if sg.num_nodes >= 2)
+        u, v = int(leaf.nodes[0]), int(leaf.nodes[1])
+        if update_index.graph.has_edge(u, v):
+            pytest.skip("edge already present")
+        with_edge, _ = insert_edge(update_index, u, v)
+        restored, _ = delete_edge(with_edge, u, v)
+        assert restored.graph == update_index.graph
+        np.testing.assert_allclose(
+            restored.query(u), update_index.query(u), atol=1e-8
+        )

@@ -1,0 +1,94 @@
+"""Unit tests for the power-iteration baselines (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import power_iteration_ppv, power_iteration_reference, preference_vector
+from repro.errors import ConvergenceError, QueryError
+from repro.graph import DiGraph, ring_digraph
+
+from conftest import dense_ppv_matrix
+
+
+class TestVectorised:
+    def test_matches_linear_solve(self, tiny_graph):
+        truth = dense_ppv_matrix(tiny_graph)
+        for u in range(5):
+            got = power_iteration_ppv(tiny_graph, u, tol=1e-12)
+            np.testing.assert_allclose(got, truth[:, u], atol=1e-10)
+
+    def test_sums_to_one_without_dangling(self, small_graph):
+        ppv = power_iteration_ppv(small_graph, 0, tol=1e-10)
+        assert ppv.sum() == pytest.approx(1.0, abs=1e-7)
+
+    def test_absorb_loses_mass(self):
+        g = DiGraph.from_edges(2, [(0, 1)])  # node 1 dangles
+        ppv = power_iteration_ppv(g, 0, tol=1e-12)
+        assert ppv.sum() < 1.0
+        assert ppv[0] == pytest.approx(0.15)
+
+    def test_preference_set(self, tiny_graph):
+        mixed = power_iteration_ppv(tiny_graph, {0: 1.0, 1: 1.0}, tol=1e-12)
+        single0 = power_iteration_ppv(tiny_graph, 0, tol=1e-12)
+        single1 = power_iteration_ppv(tiny_graph, 1, tol=1e-12)
+        np.testing.assert_allclose(mixed, 0.5 * (single0 + single1), atol=1e-9)
+
+    def test_alpha_extremes(self, tiny_graph):
+        near_restart = power_iteration_ppv(tiny_graph, 0, alpha=0.95, tol=1e-12)
+        assert near_restart[0] > 0.9
+
+    def test_ring_symmetry(self):
+        ppv = power_iteration_ppv(ring_digraph(6), 0, tol=1e-12)
+        rolled = power_iteration_ppv(ring_digraph(6), 3, tol=1e-12)
+        np.testing.assert_allclose(np.roll(ppv, 3), rolled, atol=1e-10)
+
+    def test_max_iter_exceeded(self, tiny_graph):
+        with pytest.raises(ConvergenceError):
+            power_iteration_ppv(tiny_graph, 0, tol=1e-12, max_iter=2)
+
+
+class TestPreferenceVector:
+    def test_single_node(self, tiny_graph):
+        u = preference_vector(tiny_graph, 2)
+        assert u[2] == 1.0 and u.sum() == 1.0
+
+    def test_normalisation(self, tiny_graph):
+        u = preference_vector(tiny_graph, {0: 3.0, 1: 1.0})
+        assert u[0] == pytest.approx(0.75)
+
+    def test_errors(self, tiny_graph):
+        with pytest.raises(QueryError):
+            preference_vector(tiny_graph, 99)
+        with pytest.raises(QueryError):
+            preference_vector(tiny_graph, {})
+        with pytest.raises(QueryError):
+            preference_vector(tiny_graph, {0: -1.0})
+        with pytest.raises(QueryError):
+            preference_vector(tiny_graph, {0: 0.0})
+
+
+class TestReferenceAlgorithm2:
+    def test_matches_vectorised_absorb(self, tiny_graph):
+        for u in range(5):
+            ref = power_iteration_reference(tiny_graph, u, tol=1e-10, dangling="absorb")
+            vec = power_iteration_ppv(tiny_graph, u, tol=1e-10)
+            np.testing.assert_allclose(ref, vec, atol=1e-7)
+
+    def test_dangling_to_query_conserves_mass(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])  # node 2 dangles
+        ppv = power_iteration_reference(g, 0, tol=1e-12, dangling="to_query")
+        assert ppv.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_dangling_modes_differ(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        a = power_iteration_reference(g, 0, tol=1e-12, dangling="to_query")
+        b = power_iteration_reference(g, 0, tol=1e-12, dangling="absorb")
+        assert a.sum() > b.sum()
+
+    def test_bad_mode(self, tiny_graph):
+        with pytest.raises(QueryError):
+            power_iteration_reference(tiny_graph, 0, dangling="bounce")
+
+    def test_bad_query(self, tiny_graph):
+        with pytest.raises(QueryError):
+            power_iteration_reference(tiny_graph, -1)

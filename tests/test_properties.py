@@ -1,0 +1,116 @@
+"""Property-based end-to-end invariants on random digraphs.
+
+These are the paper's theorems checked adversarially: for *arbitrary* small
+graphs (not just the friendly community stand-ins), GPA and HGPA must equal
+power iteration, hubs must separate, and decomposition identities must hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_gpa_index,
+    build_hgpa_index,
+    partial_vectors,
+    power_iteration_ppv,
+    skeleton_columns,
+)
+from repro.core.decomposition import as_view
+from repro.graph import DiGraph
+from repro.metrics import l_inf
+
+PROP_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_digraph(draw, max_nodes=24, max_edges=80):
+    n = draw(st.integers(3, max_nodes))
+    m = draw(st.integers(1, max_edges))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    g = DiGraph.from_arrays(n, src[keep], dst[keep])
+    return g.with_dangling_policy("self_loop")
+
+
+class TestExactnessProperties:
+    @settings(**PROP_SETTINGS)
+    @given(random_digraph(), st.integers(0, 10_000))
+    def test_hgpa_exact_on_random_graphs(self, graph, qseed):
+        index = build_hgpa_index(graph, tol=1e-10, seed=1, max_levels=4)
+        u = int(np.random.default_rng(qseed).integers(0, graph.num_nodes))
+        ref = power_iteration_ppv(graph, u, tol=1e-10)
+        assert l_inf(index.query(u), ref) < 1e-6
+
+    @settings(**PROP_SETTINGS)
+    @given(random_digraph(), st.integers(2, 4))
+    def test_gpa_exact_on_random_graphs(self, graph, parts):
+        index = build_gpa_index(graph, min(parts, graph.num_nodes), tol=1e-10, seed=1)
+        for u in (0, graph.num_nodes - 1):
+            ref = power_iteration_ppv(graph, u, tol=1e-10)
+            assert l_inf(index.query(u), ref) < 1e-6
+
+    @settings(**PROP_SETTINGS)
+    @given(random_digraph())
+    def test_hubs_theorem_identity(self, graph):
+        """Eq. 4 with an arbitrary hub set reconstructs the true PPV."""
+        n = graph.num_nodes
+        rng = np.random.default_rng(n)
+        hubs = np.unique(rng.integers(0, n, max(1, n // 4)))
+        view = as_view(graph)
+        sources = np.arange(n)
+        d, _ = partial_vectors(view, hubs, sources, tol=1e-11)
+        s = skeleton_columns(view, hubs, tol=1e-9)
+        u = int(rng.integers(0, n))
+        r = d[:, u].copy()
+        for j, h in enumerate(hubs.tolist()):
+            weight = s[u, j] - (0.15 if u == h else 0.0)
+            adjusted = d[:, h].copy()
+            adjusted[h] -= 0.15
+            r += (weight / 0.15) * adjusted
+        ref = power_iteration_ppv(graph, u, tol=1e-11)
+        assert l_inf(r, ref) < 1e-6
+
+
+class TestStructuralProperties:
+    @settings(**PROP_SETTINGS)
+    @given(random_digraph())
+    def test_hierarchy_invariants(self, graph):
+        from repro.partition import build_hierarchy
+
+        h = build_hierarchy(graph, seed=2)
+        h.validate()
+        # Every node is classified exactly once.
+        assert h.hub_nodes().size + h.non_hub_nodes().size == graph.num_nodes
+        # Chains are consistent for every node.
+        for u in range(graph.num_nodes):
+            chain = h.chain(u)
+            assert chain[0] is h.root
+
+    @settings(**PROP_SETTINGS)
+    @given(random_digraph())
+    def test_ppv_mass_conserved(self, graph):
+        """With the self-loop policy the PPV is a probability vector."""
+        ppv = power_iteration_ppv(graph, 0, tol=1e-10)
+        assert ppv.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (ppv >= -1e-12).all()
+
+    @settings(**PROP_SETTINGS)
+    @given(random_digraph(), st.integers(1, 5))
+    def test_distributed_equals_centralized(self, graph, machines):
+        from repro.distributed import DistributedHGPA
+
+        index = build_hgpa_index(graph, tol=1e-9, seed=3, max_levels=3)
+        dep = DistributedHGPA(index, machines)
+        u = graph.num_nodes // 2
+        vec, report = dep.query(u)
+        np.testing.assert_allclose(vec, index.query(u), atol=1e-9)
+        assert len(report.per_machine_bytes) == machines

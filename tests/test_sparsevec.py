@@ -1,0 +1,117 @@
+"""Unit and property tests for the sparse vector / wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SparseVec
+from repro.core.sparsevec import WIRE_ENTRY_BYTES, WIRE_HEADER_BYTES
+from repro.errors import SerializationError
+
+
+class TestConstruction:
+    def test_sorted_and_deduped(self):
+        v = SparseVec(np.array([3, 1, 3]), np.array([1.0, 2.0, 4.0]))
+        assert v.idx.tolist() == [1, 3]
+        assert v.val.tolist() == [2.0, 5.0]
+
+    def test_zeros_dropped(self):
+        v = SparseVec(np.array([0, 1]), np.array([0.0, 2.0]))
+        assert v.idx.tolist() == [1]
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(SerializationError):
+            SparseVec(np.array([1, 2]), np.array([1.0]))
+
+    def test_from_dense_prunes(self):
+        v = SparseVec.from_dense(np.array([0.5, 1e-9, 0.0, -0.2]), prune=1e-6)
+        assert v.idx.tolist() == [0, 3]
+
+    def test_one_hot(self):
+        v = SparseVec.one_hot(4, 0.15)
+        assert v.get(4) == 0.15 and v.get(3) == 0.0 and v.nnz == 1
+
+    def test_empty(self):
+        v = SparseVec.empty()
+        assert v.nnz == 0 and v.sum() == 0.0
+
+
+class TestOperations:
+    def test_get(self):
+        v = SparseVec(np.array([2, 7]), np.array([1.5, -2.0]))
+        assert v.get(2) == 1.5
+        assert v.get(7) == -2.0
+        assert v.get(5) == 0.0
+
+    def test_to_dense_roundtrip(self):
+        dense = np.array([0.0, 1.0, 0.0, 3.0])
+        np.testing.assert_array_equal(SparseVec.from_dense(dense).to_dense(4), dense)
+
+    def test_add_into_with_scale(self):
+        acc = np.zeros(5)
+        SparseVec(np.array([1, 3]), np.array([2.0, 4.0])).add_into(acc, 0.5)
+        assert acc.tolist() == [0.0, 1.0, 0.0, 2.0, 0.0]
+
+    def test_add(self):
+        a = SparseVec(np.array([0, 1]), np.array([1.0, 1.0]))
+        b = SparseVec(np.array([1, 2]), np.array([-1.0, 5.0]))
+        c = a + b
+        assert c.idx.tolist() == [0, 2]  # index 1 cancels to zero
+
+    def test_pruned(self):
+        v = SparseVec(np.array([0, 1]), np.array([1e-9, 1.0]))
+        assert v.pruned(1e-6).nnz == 1
+
+    def test_scaled(self):
+        v = SparseVec.one_hot(2).scaled(3.0)
+        assert v.get(2) == 3.0
+
+    def test_equality(self):
+        a = SparseVec.one_hot(1)
+        assert a == SparseVec.one_hot(1)
+        assert a != SparseVec.one_hot(2)
+
+
+class TestWire:
+    def test_roundtrip(self):
+        v = SparseVec(np.array([5, 100, 2000]), np.array([0.1, -0.5, 3.25]))
+        back = SparseVec.from_wire(v.to_wire())
+        assert back == v
+
+    def test_wire_bytes_accounting(self):
+        v = SparseVec(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        assert v.wire_bytes == WIRE_HEADER_BYTES + 3 * WIRE_ENTRY_BYTES
+        assert len(v.to_wire()) == v.wire_bytes
+
+    def test_empty_roundtrip(self):
+        assert SparseVec.from_wire(SparseVec.empty().to_wire()).nnz == 0
+
+    def test_truncated_payload(self):
+        with pytest.raises(SerializationError):
+            SparseVec.from_wire(b"abc")
+
+    def test_wrong_length(self):
+        payload = SparseVec.one_hot(1).to_wire() + b"x"
+        with pytest.raises(SerializationError):
+            SparseVec.from_wire(payload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**31 - 1),
+                st.floats(
+                    allow_nan=False, allow_infinity=False, width=64,
+                    min_value=-1e12, max_value=1e12,
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_wire_roundtrip(self, pairs):
+        idx = np.array([p[0] for p in pairs], dtype=np.int64)
+        val = np.array([p[1] for p in pairs], dtype=np.float64)
+        v = SparseVec(idx, val)
+        back = SparseVec.from_wire(v.to_wire())
+        assert back == v

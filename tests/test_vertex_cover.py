@@ -1,0 +1,164 @@
+"""Unit and property tests for hub-node selection (vertex covers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition import (
+    bipartite_min_vertex_cover,
+    cover_cut_edges,
+    greedy_vertex_cover,
+    hopcroft_karp,
+    konig_cover,
+    matching_vertex_cover_2approx,
+)
+
+
+def covers_all(pairs: np.ndarray, cover: set[int]) -> bool:
+    return all(a in cover or b in cover for a, b in pairs.tolist())
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adj = [[0], [1], [2]]
+        ml, mr = hopcroft_karp(adj, 3, 3)
+        assert (ml >= 0).all() and (mr >= 0).all()
+
+    def test_matching_size_known(self):
+        # K_{2,2} plus isolated left vertex: max matching 2.
+        adj = [[0, 1], [0, 1], []]
+        ml, _ = hopcroft_karp(adj, 3, 2)
+        assert int((ml >= 0).sum()) == 2
+
+    def test_path_graph(self):
+        # L0-R0, R0-L1, L1-R1 path: max matching 2.
+        adj = [[0], [0, 1]]
+        ml, mr = hopcroft_karp(adj, 2, 2)
+        assert int((ml >= 0).sum()) == 2
+
+    def test_matching_consistency(self):
+        rng = np.random.default_rng(0)
+        adj = [sorted(set(rng.integers(0, 12, 3).tolist())) for _ in range(10)]
+        ml, mr = hopcroft_karp(adj, 10, 12)
+        for u, v in enumerate(ml.tolist()):
+            if v >= 0:
+                assert mr[v] == u
+                assert v in adj[u]
+
+
+class TestKonig:
+    def test_cover_size_equals_matching(self):
+        adj = [[0, 1], [0], [1, 2]]
+        ml, mr = hopcroft_karp(adj, 3, 3)
+        cl, cr = konig_cover(adj, ml, mr)
+        assert int(cl.sum()) + int(cr.sum()) == int((ml >= 0).sum())
+
+    def test_cover_covers_all_edges(self):
+        rng = np.random.default_rng(3)
+        adj = [sorted(set(rng.integers(0, 8, 4).tolist())) for _ in range(8)]
+        ml, mr = hopcroft_karp(adj, 8, 8)
+        cl, cr = konig_cover(adj, ml, mr)
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert cl[u] or cr[v]
+
+
+class TestBipartiteCover:
+    def test_star_covered_by_center(self):
+        pairs = np.array([[0, 10], [0, 11], [0, 12]])
+        left, right = bipartite_min_vertex_cover(pairs)
+        assert left.tolist() == [0] and right.size == 0
+
+    def test_empty(self):
+        left, right = bipartite_min_vertex_cover(np.empty((0, 2)))
+        assert left.size == 0 and right.size == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(PartitionError):
+            bipartite_min_vertex_cover(np.array([[1, 2, 3]]))
+
+    def test_minimality_on_cycle(self):
+        # C4 as bipartite: needs exactly 2 cover nodes.
+        pairs = np.array([[0, 10], [0, 11], [1, 10], [1, 11]])
+        left, right = bipartite_min_vertex_cover(pairs)
+        assert left.size + right.size == 2
+        assert covers_all(pairs, set(left.tolist()) | set(right.tolist()))
+
+
+class TestHeuristicCovers:
+    def test_greedy_covers(self):
+        pairs = np.array([[0, 1], [1, 2], [2, 3], [3, 0]])
+        cover = greedy_vertex_cover(pairs)
+        assert covers_all(pairs, set(cover.tolist()))
+
+    def test_greedy_star_optimal(self):
+        pairs = np.array([[0, i] for i in range(1, 6)])
+        assert greedy_vertex_cover(pairs).tolist() == [0]
+
+    def test_2approx_covers_and_bound(self):
+        pairs = np.array([[0, 1], [2, 3], [4, 5]])
+        cover = matching_vertex_cover_2approx(pairs, seed=1)
+        assert covers_all(pairs, set(cover.tolist()))
+        assert cover.size <= 2 * 3  # ≤ 2·OPT, OPT = 3 here
+
+    def test_empty_inputs(self):
+        assert greedy_vertex_cover(np.empty((0, 2))).size == 0
+        assert matching_vertex_cover_2approx(np.empty((0, 2))).size == 0
+
+
+class TestCoverCutEdges:
+    def test_no_cut(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        labels = np.zeros(2, dtype=np.int64)
+        assert cover_cut_edges(src, dst, labels).size == 0
+
+    def test_exact_two_way(self):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([2, 3, 0, 1])
+        labels = np.array([0, 0, 1, 1])
+        hubs = cover_cut_edges(src, dst, labels, method="exact")
+        hub_set = set(hubs.tolist())
+        for s, d in zip(src, dst):
+            assert s in hub_set or d in hub_set
+
+    def test_exact_rejects_multiway(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        labels = np.array([0, 1, 2])
+        with pytest.raises(PartitionError):
+            cover_cut_edges(src, dst, labels, method="exact")
+
+    def test_auto_multiway_falls_back(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        labels = np.array([0, 1, 2])
+        hubs = cover_cut_edges(src, dst, labels, method="auto")
+        assert hubs.size > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(PartitionError):
+            cover_cut_edges(np.array([0]), np.array([1]), np.array([0, 1]), method="x")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_cover_separates(self, data):
+        """For random graphs + random 2-labelings, the exact cover hits
+        every crossing edge and is no larger than the greedy one."""
+        n = data.draw(st.integers(4, 25))
+        m = data.draw(st.integers(0, 60))
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        labels = rng.integers(0, 2, n)
+        exact = cover_cut_edges(src, dst, labels, method="exact")
+        greedy = cover_cut_edges(src, dst, labels, method="greedy")
+        cover_set = set(exact.tolist())
+        crossing = labels[src] != labels[dst]
+        for s, d in zip(src[crossing].tolist(), dst[crossing].tolist()):
+            assert s in cover_set or d in cover_set
+        assert exact.size <= greedy.size + 1e-9  # Kőnig is minimum
