@@ -7,8 +7,6 @@ hub-partial storage.  Expected shape: Kőnig ≤ greedy ≤ 2-approx in hub
 count on 2-way cuts, with identical separation guarantees.
 """
 
-import numpy as np
-
 from repro import datasets
 from repro.bench import ExperimentTable
 from repro.partition import cover_cut_edges, partition_kway

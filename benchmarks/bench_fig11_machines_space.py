@@ -5,7 +5,6 @@ redundancy is shared between machines.  Expected shape here: monotone
 (within round-robin jitter) decrease, total constant.
 """
 
-from repro import datasets
 from repro.bench import ExperimentTable, hgpa_index
 from repro.distributed import DistributedHGPA
 

@@ -5,8 +5,6 @@ per level), e.g. Email 5→10 ms over levels 1→5.  Expected shape here: a
 mild increase in query work from the shallowest to the deepest hierarchy.
 """
 
-import statistics
-
 from repro.bench import ExperimentTable, bench_queries, hgpa_index, time_queries
 
 SWEEPS = {

@@ -15,8 +15,6 @@ Run:  python examples/cluster_comparison.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import datasets
 from repro.core import build_hgpa_index
 from repro.distributed import DistributedHGPA

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.decomposition import as_view, partial_vectors
+from repro.core.flat_index import DEFAULT_BATCH, run_in_batches, validate_batch
 from repro.core.sparsevec import SparseVec
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.analysis import top_pagerank_nodes
@@ -86,21 +87,98 @@ class FastPPVIndex:
         n = self.graph.num_nodes
         if not 0 <= u < n:
             raise QueryError(f"query node {u} out of range")
-        if frontier_cutoff is None:
-            frontier_cutoff = self.tol * 0.01
         t0 = time.perf_counter()
-        view = as_view(self.graph)
-        hub_local = self.hubs
         d, e = partial_vectors(
-            view, hub_local, np.asarray([u]), alpha=self.alpha, tol=self.tol
+            as_view(self.graph),
+            self.hubs,
+            np.asarray([u]),
+            alpha=self.alpha,
+            tol=self.tol,
         )
         acc = d[:, 0]
+        expansions, residual = self._expand_frontier(
+            acc, e[:, 0], max_expansions, frontier_cutoff
+        )
+        info = FastPPVQueryInfo(
+            expansions=expansions,
+            residual_mass=residual,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        return acc, info
+
+    def query_many(
+        self,
+        nodes,
+        *,
+        max_expansions: int | None = None,
+        frontier_cutoff: float | None = None,
+    ) -> tuple[np.ndarray, list[FastPPVQueryInfo]]:
+        """Batched approximate PPVs.
+
+        The query-time partial vectors of all sources are solved in one
+        batched selective expansion (with per-column convergence, so each
+        row equals the per-node :meth:`query` result exactly); the
+        scheduled frontier expansion then runs per query.  Returns a
+        dense ``(len(nodes), n)`` matrix plus per-query diagnostics.
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        if nodes.size == 0:
+            return np.zeros((0, n)), []
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the dense (n, batch) solve matrices.
+            return run_in_batches(
+                lambda chunk: self.query_many(
+                    chunk,
+                    max_expansions=max_expansions,
+                    frontier_cutoff=frontier_cutoff,
+                ),
+                nodes,
+            )
+        out = np.zeros((nodes.size, n))
+        t0 = time.perf_counter()
+        d, e = partial_vectors(
+            as_view(self.graph),
+            self.hubs,
+            nodes,
+            alpha=self.alpha,
+            tol=self.tol,
+            per_column=True,
+        )
+        solve_each = (time.perf_counter() - t0) / nodes.size
+        infos: list[FastPPVQueryInfo] = []
+        for j in range(nodes.size):
+            t1 = time.perf_counter()
+            acc = d[:, j]
+            expansions, residual = self._expand_frontier(
+                acc, e[:, j], max_expansions, frontier_cutoff
+            )
+            out[j] = acc
+            infos.append(
+                FastPPVQueryInfo(
+                    expansions=expansions,
+                    residual_mass=residual,
+                    wall_seconds=solve_each + time.perf_counter() - t1,
+                )
+            )
+        return out, infos
+
+    def _expand_frontier(
+        self,
+        acc: np.ndarray,
+        residual_col: np.ndarray,
+        max_expansions: int | None,
+        frontier_cutoff: float | None,
+    ) -> tuple[int, float]:
+        """Scheduled most-massive-first hub expansion into ``acc``."""
+        if frontier_cutoff is None:
+            frontier_cutoff = self.tol * 0.01
         # Frontier: pre-stop mass waiting at each hub (continuations of
         # tours whose hub length is about to grow by one).
         frontier: dict[int, float] = {}
         heap: list[tuple[float, int]] = []
         for h in self.hubs.tolist():
-            mass = float(e[h, 0])
+            mass = float(residual_col[h])
             if mass > frontier_cutoff:
                 frontier[h] = mass
                 heapq.heappush(heap, (-mass, h))
@@ -125,13 +203,7 @@ class FastPPVIndex:
                 frontier[h2] = new_mass
                 if new_mass > frontier_cutoff:
                     heapq.heappush(heap, (-new_mass, h2))
-        residual = float(sum(frontier.values()))
-        info = FastPPVQueryInfo(
-            expansions=expansions,
-            residual_mass=residual,
-            wall_seconds=time.perf_counter() - t0,
-        )
-        return acc, info
+        return expansions, float(sum(frontier.values()))
 
 
 def build_fastppv_index(

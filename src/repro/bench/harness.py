@@ -135,10 +135,26 @@ def bench_queries(dataset: str, count: int = 20, *, seed: int = 9) -> np.ndarray
     return datasets.query_nodes(datasets.load(dataset), count, seed=seed)
 
 
-def time_queries(query_fn, queries, *, repeat: int = 1) -> float:
-    """Median wall seconds of ``query_fn`` over the query set."""
+def time_queries(query_fn, queries, *, repeat: int = 1, batched: bool = False) -> float:
+    """Median wall seconds per query of ``query_fn`` over the query set.
+
+    In the default per-query mode ``query_fn`` is called once per node and
+    the median of the individual timings is returned.  With
+    ``batched=True`` the whole query array is handed to ``query_fn`` in a
+    single call (e.g. an index's ``query_many``) and the wall time is
+    divided by the number of queries, so the two modes are directly
+    comparable.
+    """
+    queries = np.asarray(queries)
+    if batched:
+        per_query = []
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            query_fn(queries)
+            per_query.append((time.perf_counter() - t0) / max(1, queries.size))
+        return statistics.median(per_query)
     times = []
-    for q in np.asarray(queries).tolist():
+    for q in queries.tolist():
         t0 = time.perf_counter()
         for _ in range(repeat):
             query_fn(int(q))

@@ -60,6 +60,7 @@ def partial_vectors(
     alpha: float = 0.15,
     tol: float = 1e-4,
     max_iter: int = 100_000,
+    per_column: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Partial vectors for many sources at once via selective expansion.
 
@@ -72,6 +73,12 @@ def partial_vectors(
         case the result is the full local PPV of every source).
     source_local:
         Local indices of the source nodes (columns of the result).
+    per_column:
+        Freeze each column individually once *its* expandable mass drops
+        below ``tol`` (instead of iterating until the worst column
+        converges).  Columns are independent, so the result is identical
+        to solving each source on its own — which is what batched query
+        paths need to reproduce per-query results exactly.
 
     Tours may *end* at a hub — only interior hub visits block a tour — so
     ``p_u^H(h)`` is the first-passage mass ``α·E(h)``; without it the hubs
@@ -104,16 +111,41 @@ def partial_vectors(
     e[:] = (1.0 - alpha) * (wt @ start)
     # Regular selective-expansion rounds.
     mask = expandable[:, None]
-    for _ in range(max_iter):
-        expand = np.where(mask, e, 0.0)
-        if not expand.size or expand.max() <= tol:
-            break
-        d += alpha * expand
-        e = np.where(mask, 0.0, e) + (1.0 - alpha) * (wt @ expand)
+    if per_column:
+        active = np.ones(num_src, dtype=bool)
+        for _ in range(max_iter):
+            cols = np.nonzero(active)[0]
+            expand = np.where(mask, e[:, cols], 0.0)
+            done = (
+                expand.max(axis=0) <= tol
+                if expand.size
+                else np.ones(cols.size, dtype=bool)
+            )
+            if done.any():
+                active[cols[done]] = False
+                cols = cols[~done]
+                expand = expand[:, ~done]
+            if cols.size == 0:
+                break
+            d[:, cols] += alpha * expand
+            e[:, cols] = np.where(mask, 0.0, e[:, cols]) + (1.0 - alpha) * (
+                wt @ expand
+            )
+        else:
+            raise ConvergenceError(
+                f"partial_vectors: no convergence in {max_iter} iterations"
+            )
     else:
-        raise ConvergenceError(
-            f"partial_vectors: no convergence in {max_iter} iterations"
-        )
+        for _ in range(max_iter):
+            expand = np.where(mask, e, 0.0)
+            if not expand.size or expand.max() <= tol:
+                break
+            d += alpha * expand
+            e = np.where(mask, 0.0, e) + (1.0 - alpha) * (wt @ expand)
+        else:
+            raise ConvergenceError(
+                f"partial_vectors: no convergence in {max_iter} iterations"
+            )
     # Deposit (a) the frozen hub mass — tours stopping at a hub belong to
     # the partial vector — and (b) the remaining sub-tolerance expandable
     # mass, so the result is a lower approximation within tol of the true

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.decomposition import as_view, partial_vectors, skeleton_columns
 from repro.core.sparsevec import SparseVec
@@ -29,7 +30,17 @@ from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
 from repro.graph.subgraph import VirtualSubgraph
 
-__all__ = ["QueryStats", "FlatPPVIndex", "DEFAULT_BATCH"]
+__all__ = [
+    "QueryStats",
+    "FlatPPVIndex",
+    "DEFAULT_BATCH",
+    "stack_columns",
+    "csr_row_dense",
+    "find_sorted",
+    "hub_weights",
+    "validate_batch",
+    "run_in_batches",
+]
 
 DEFAULT_BATCH = 256
 
@@ -53,6 +64,101 @@ class QueryStats:
         self.skeleton_lookups += other.skeleton_lookups
 
 
+def stack_columns(cols: list[SparseVec], n: int) -> sp.csc_matrix:
+    """Stack sparse vectors as the columns of one ``(n, len(cols))`` CSC."""
+    if not cols:
+        return sp.csc_matrix((n, 0))
+    return sp.csc_matrix(
+        (
+            np.concatenate([v.val for v in cols]),
+            np.concatenate([v.idx for v in cols]),
+            np.concatenate([[0], np.cumsum([v.nnz for v in cols])]),
+        ),
+        shape=(n, len(cols)),
+    )
+
+
+def csr_row_dense(csr: sp.csr_matrix, row: int) -> np.ndarray:
+    """One CSR row as a dense vector (the skeleton-weight slice)."""
+    lo, hi = csr.indptr[row], csr.indptr[row + 1]
+    out = np.zeros(csr.shape[1])
+    out[csr.indices[lo:hi]] = csr.data[lo:hi]
+    return out
+
+
+def find_sorted(
+    haystack: np.ndarray, needles: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Membership probe into a sorted array.
+
+    Returns ``(rows, pos)``: ``rows`` indexes the needles present in
+    ``haystack`` and ``pos`` holds every needle's insertion point, so
+    ``pos[rows]`` gives the positions of the hits.  (The clip below only
+    makes the equality test safe at the array end; the ``pos <`` bound
+    is what rejects needles beyond the last element.)
+    """
+    needles = np.asarray(needles)
+    pos = np.searchsorted(haystack, needles)
+    if haystack.size == 0:
+        return np.empty(0, dtype=np.int64), pos
+    clipped = np.minimum(pos, haystack.size - 1)
+    rows = np.nonzero((pos < haystack.size) & (haystack[clipped] == needles))[0]
+    return rows, pos
+
+
+def validate_batch(nodes, num_nodes: int) -> np.ndarray:
+    """Normalize and range-check a ``query_many`` node batch.
+
+    Only genuine integer ids are accepted — coercing floats would
+    silently truncate ``3.7`` to node 3 and return the wrong PPV.
+    """
+    nodes = np.atleast_1d(np.asarray(nodes))
+    if nodes.ndim != 1:
+        raise QueryError("query_many expects a 1-D array of node ids")
+    if nodes.size and nodes.dtype.kind not in "iu":
+        raise QueryError(
+            f"query_many expects integer node ids, got dtype {nodes.dtype}"
+        )
+    nodes = nodes.astype(np.int64, copy=False)
+    if nodes.size and not (0 <= nodes.min() and nodes.max() < num_nodes):
+        raise QueryError("query node out of range")
+    return nodes
+
+
+def run_in_batches(
+    query_many_fn, nodes: np.ndarray, batch: int = DEFAULT_BATCH
+) -> tuple[np.ndarray, list]:
+    """Evaluate a ``query_many``-style callable one ``batch`` at a time.
+
+    Bounds the dense intermediates of the wrapped engine at
+    ``batch × n`` floats per buffer; results and per-query metadata are
+    concatenated transparently.
+    """
+    outs, metas = [], []
+    for lo in range(0, nodes.size, batch):
+        out, meta = query_many_fn(nodes[lo : lo + batch])
+        outs.append(out)
+        metas.extend(meta)
+    if not outs:
+        return np.zeros((0, 0)), metas
+    return np.vstack(outs), metas
+
+
+def hub_weights(
+    skel_csr: sp.csr_matrix, hubs: np.ndarray, u: int, alpha: float
+) -> np.ndarray:
+    """Eq. 4/Eq. 5 hub weights ``s_u(h) − α·f_u(h)`` over stacked columns.
+
+    ``skel_csr`` holds one skeleton column per hub of ``hubs`` (any
+    subset: a whole hub set, one hierarchy level, one machine's share).
+    """
+    weights = csr_row_dense(skel_csr, u)
+    rows, pos = find_sorted(hubs, np.asarray([u]))
+    if rows.size:
+        weights[pos[0]] -= alpha
+    return weights
+
+
 @dataclass
 class FlatPPVIndex:
     """Pre-computed vectors for a flat hub set (PPV-JW / GPA query side)."""
@@ -66,11 +172,51 @@ class FlatPPVIndex:
     skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
     node_partials: dict[int, SparseVec] = field(default_factory=dict)
     build_cost: dict[tuple, float] = field(default_factory=dict)
+    _ops_cache: tuple | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     def is_hub(self, u: int) -> bool:
         pos = np.searchsorted(self.hubs, u)
         return bool(pos < self.hubs.size and self.hubs[pos] == u)
+
+    def invalidate_cache(self) -> None:
+        """Drop the stacked-matrix cache (call after mutating the stores)."""
+        self._ops_cache = None
+
+    def _ops(self) -> tuple:
+        """Cached (stacked hub-partial CSC, stacked skeleton CSR, nnz/hub).
+
+        The hub partials become the columns of one ``(n, |H|)`` CSC matrix
+        and the skeleton columns one CSR matrix of the same shape, so a
+        query is a skeleton-row slice plus a single ``CSC @ weights``
+        product instead of a per-hub Python loop.
+        """
+        if self._ops_cache is None:
+            n = self.graph.num_nodes
+            hubs = self.hubs.tolist()
+            part_csc = stack_columns([self.hub_partials[h] for h in hubs], n)
+            skel_csr = stack_columns(
+                [self.skeleton_cols[h] for h in hubs], n
+            ).tocsr()
+            self._ops_cache = (part_csc, skel_csr, np.diff(part_csc.indptr))
+        return self._ops_cache
+
+    def _hub_weights(self, u: int) -> np.ndarray:
+        """Eq. 4 hub weights ``s_u(h) − α·f_u(h)`` for every hub."""
+        _, skel_csr, _ = self._ops()
+        return hub_weights(skel_csr, self.hubs, u, self.alpha)
+
+    def _add_own_term(self, u: int, acc: np.ndarray, stats: QueryStats) -> None:
+        """The ``p_u`` base term of Eq. 4 (plus hub un-adjustment)."""
+        if self.is_hub(u):
+            own = self.hub_partials[u]
+            own.add_into(acc)  # P_u back to p_u: re-add the α·x_u diagonal
+            acc[u] += self.alpha
+        else:
+            own = self.node_partials[u]
+            own.add_into(acc)
+        stats.entries_processed += own.nnz
+        stats.vectors_used += 1
 
     def query(self, u: int) -> np.ndarray:
         """Exact PPV of node ``u`` (dense)."""
@@ -78,7 +224,68 @@ class FlatPPVIndex:
         return vec
 
     def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
-        """PPV of ``u`` plus work counters."""
+        """PPV of ``u`` plus work counters, via the vectorised fast path."""
+        if not 0 <= u < self.graph.num_nodes:
+            raise QueryError(f"query node {u} out of range")
+        stats = QueryStats()
+        if self.hubs.size:
+            part_csc, _, nnz_per_hub = self._ops()
+            weights = self._hub_weights(u)
+            acc = part_csc @ (weights * (1.0 / self.alpha))
+            used = weights != 0.0
+            stats.skeleton_lookups = int(self.hubs.size)
+            stats.vectors_used = int(np.count_nonzero(used))
+            stats.entries_processed = int(nnz_per_hub[used].sum())
+        else:
+            acc = np.zeros(self.graph.num_nodes)
+        self._add_own_term(u, acc, stats)
+        return acc, stats
+
+    def query_many(
+        self, nodes, *, batch: int | None = DEFAULT_BATCH
+    ) -> tuple[np.ndarray, list[QueryStats]]:
+        """Batched exact PPVs: one sparse matmul per ``batch`` queries.
+
+        Returns a dense ``(len(nodes), n)`` matrix whose row ``k`` is the
+        PPV of ``nodes[k]``, plus per-query work counters.  ``batch``
+        bounds the dense intermediate at ``batch × n`` floats (``None``
+        processes the whole request in one product).
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        out = np.zeros((nodes.size, n))
+        stats = [QueryStats() for _ in range(nodes.size)]
+        if nodes.size == 0:
+            return out, stats
+        step = nodes.size if batch is None else max(1, batch)
+        inv_alpha = 1.0 / self.alpha
+        part_csc, skel_csr, nnz_per_hub = self._ops()
+        for lo in range(0, nodes.size, step):
+            sl = slice(lo, min(lo + step, nodes.size))
+            chunk = nodes[sl]
+            if self.hubs.size:
+                weights = skel_csr[chunk].toarray()
+                hub_rows, pos = find_sorted(self.hubs, chunk)
+                weights[hub_rows, pos[hub_rows]] -= self.alpha
+                out[sl] = (part_csc @ (weights.T * inv_alpha)).T
+                used = weights != 0.0
+                counts = used.sum(axis=1)
+                entries = used.astype(np.int64) @ nnz_per_hub
+                for k in range(chunk.size):
+                    s = stats[lo + k]
+                    s.skeleton_lookups = int(self.hubs.size)
+                    s.vectors_used = int(counts[k])
+                    s.entries_processed = int(entries[k])
+            for k, u in enumerate(chunk.tolist()):
+                self._add_own_term(u, out[lo + k], stats[lo + k])
+        return out, stats
+
+    def query_reference(self, u: int) -> tuple[np.ndarray, QueryStats]:
+        """Eq. 4 evaluated hub-by-hub — the pre-vectorisation reference.
+
+        Kept as the correctness oracle for the fast path and as the
+        baseline the batch-query benchmark measures against.
+        """
         if not 0 <= u < self.graph.num_nodes:
             raise QueryError(f"query node {u} out of range")
         acc = np.zeros(self.graph.num_nodes)
@@ -95,16 +302,7 @@ class FlatPPVIndex:
             part.add_into(acc, weight * inv_alpha)
             stats.entries_processed += part.nnz
             stats.vectors_used += 1
-        if self.is_hub(u):
-            own = self.hub_partials[u]
-            own.add_into(acc)  # P_u back to p_u: re-add the α·x_u diagonal
-            acc[u] += self.alpha
-            stats.entries_processed += own.nnz
-        else:
-            own = self.node_partials[u]
-            own.add_into(acc)
-            stats.entries_processed += own.nnz
-        stats.vectors_used += 1
+        self._add_own_term(u, acc, stats)
         return acc, stats
 
     # ------------------------------------------------------------------

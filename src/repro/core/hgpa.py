@@ -25,10 +25,17 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.decomposition import partial_vectors, skeleton_columns
-from repro.core.flat_index import DEFAULT_BATCH, QueryStats
+from repro.core.flat_index import (
+    DEFAULT_BATCH,
+    QueryStats,
+    csr_row_dense,
+    find_sorted,
+    run_in_batches,
+    stack_columns,
+    validate_batch,
+)
 from repro.core.sparsevec import SparseVec
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.digraph import DiGraph
@@ -81,9 +88,7 @@ class HGPAIndex:
             if sg.hubs.size == 0:
                 continue
             part_csc, skel_csr, hubs = self._level_ops(sg.node_id)
-            lo, hi = skel_csr.indptr[u], skel_csr.indptr[u + 1]
-            weights = np.zeros(hubs.size)
-            weights[skel_csr.indices[lo:hi]] = skel_csr.data[lo:hi]
+            weights = csr_row_dense(skel_csr, u)
             own_level = u_is_hub and sg is chain[-1]
             if own_level:
                 adjusted = weights.copy()
@@ -109,27 +114,78 @@ class HGPAIndex:
         sg = self.hierarchy.subgraphs[sid]
         hubs = sg.hubs
         n = self.graph.num_nodes
-        part_cols = [self.hub_partials[h] for h in hubs.tolist()]
-        part_csc = sp.csc_matrix(
-            (
-                np.concatenate([v.val for v in part_cols]),
-                np.concatenate([v.idx for v in part_cols]),
-                np.concatenate([[0], np.cumsum([v.nnz for v in part_cols])]),
-            ),
-            shape=(n, hubs.size),
-        )
-        skel_cols = [self.skeleton_cols[h] for h in hubs.tolist()]
-        skel_csr = sp.csc_matrix(
-            (
-                np.concatenate([v.val for v in skel_cols]),
-                np.concatenate([v.idx for v in skel_cols]),
-                np.concatenate([[0], np.cumsum([v.nnz for v in skel_cols])]),
-            ),
-            shape=(n, hubs.size),
+        part_csc = stack_columns([self.hub_partials[h] for h in hubs.tolist()], n)
+        skel_csr = stack_columns(
+            [self.skeleton_cols[h] for h in hubs.tolist()], n
         ).tocsr()
         ops = (part_csc, skel_csr, hubs)
         self._level_ops_cache[sid] = ops
         return ops
+
+    def invalidate_cache(self) -> None:
+        """Drop the stacked-matrix caches (call after mutating the stores)."""
+        self._level_ops_cache.clear()
+
+    def query_many(self, nodes) -> tuple[np.ndarray, list[QueryStats]]:
+        """Batched exact PPVs (Eq. 6): one sparse matmul per level group.
+
+        Queries are grouped by the hierarchy subgraphs their chains
+        traverse; each group's skeleton weights come from one CSR row
+        slice and its level term from one ``CSC @ weights`` product, so
+        the per-hub work is shared across the whole batch.  Returns a
+        dense ``(len(nodes), n)`` matrix plus per-query work counters.
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the dense (n, batch) accumulator.
+            return run_in_batches(self.query_many, nodes)
+        stats = [QueryStats() for _ in range(nodes.size)]
+        order, members, hub_flags = _chain_membership(self.hierarchy, nodes)
+        ordered = nodes[order]
+        acc = np.zeros((n, nodes.size))  # level terms, ordered columns
+        inv_alpha = 1.0 / self.alpha
+        for sid, (lo, hi, own_list) in members.items():
+            part_csc, skel_csr, hubs = self._level_ops(sid)
+            nnz_per_hub = np.diff(part_csc.indptr)
+            own_arr = np.asarray(own_list, dtype=bool)
+            qnodes = ordered[lo:hi]
+            raw = skel_csr[qnodes].toarray()
+            weights = raw.copy()
+            own_rows = np.nonzero(own_arr)[0]
+            if own_rows.size:
+                # Hub queries at their own level: the f_u(h) adjustment.
+                hits, pos = find_sorted(hubs, qnodes[own_rows])
+                weights[own_rows[hits], pos[hits]] -= self.alpha
+            level = part_csc @ (weights.T * inv_alpha)
+            rest = np.nonzero(~own_arr)[0]
+            if rest.size:
+                # Port repair: a non-own level contributes exactly the raw
+                # skeleton weights at its own hub coordinates (see
+                # query_detailed).
+                level[np.ix_(hubs, rest)] = raw[rest].T
+            acc[:, lo:hi] += level
+            used = weights != 0.0
+            counts = used.sum(axis=1)
+            entries = used.astype(np.int64) @ nnz_per_hub
+            for k in range(hi - lo):
+                s = stats[order[lo + k]]
+                s.skeleton_lookups += int(hubs.size)
+                s.vectors_used += int(counts[k])
+                s.entries_processed += int(entries[k])
+        out = np.empty((nodes.size, n))
+        out[order] = acc.T
+        for qpos, u in enumerate(nodes.tolist()):
+            if hub_flags[qpos]:
+                own = self.hub_partials[u]
+                own.add_into(out[qpos])
+                out[qpos, u] += self.alpha
+            else:
+                own = self.leaf_ppv[u]
+                own.add_into(out[qpos])
+            stats[qpos].entries_processed += own.nnz
+            stats[qpos].vectors_used += 1
+        return out, stats
 
     def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
         """PPV of ``u`` plus work counters (Eq. 6 evaluation).
@@ -204,6 +260,56 @@ class HGPAIndex:
     def offline_seconds(self) -> float:
         """Total measured pre-computation work (all tasks, one machine)."""
         return float(sum(self.build_cost.values()))
+
+
+def _chain_membership(
+    hierarchy: PartitionHierarchy, nodes: np.ndarray
+) -> tuple[np.ndarray, dict[int, tuple[int, int, list[bool]]], np.ndarray]:
+    """Group queries by the subgraphs their chains traverse.
+
+    Queries are ordered lexicographically by chain, so every subgraph's
+    member set becomes one *contiguous* slice of the ordered batch (a
+    subgraph's members are exactly the queries whose chain starts with
+    the unique root→subgraph path).  Batched query paths can then
+    accumulate each level term with a plain block add instead of a
+    strided scatter.
+
+    Returns ``(order, members, hub_flags)``: ``order[k]`` is the original
+    position of the ``k``-th ordered query; ``members`` maps subgraph id
+    to ``(lo, hi, own-level flags)`` over ordered positions; ``hub_flags``
+    is a per-original-query hub mask.  The own-level flag marks a hub
+    query at the level that owns it (where Eq. 6 applies the f_u(h)
+    adjustment instead of the port repair).
+    """
+    chains = [hierarchy.chain(int(u)) for u in nodes.tolist()]
+    hub_flags = np.asarray(
+        [hierarchy.is_hub(int(u)) for u in nodes.tolist()], dtype=bool
+    )
+    order = np.asarray(
+        sorted(
+            range(nodes.size),
+            key=lambda i: [sg.node_id for sg in chains[i]],
+        ),
+        dtype=np.int64,
+    )
+    members: dict[int, list] = {}
+    for pos, i in enumerate(order.tolist()):
+        chain = chains[i]
+        for sg in chain:
+            if sg.hubs.size == 0:
+                continue
+            own = bool(hub_flags[i]) and sg is chain[-1]
+            entry = members.get(sg.node_id)
+            if entry is None:
+                members[sg.node_id] = [pos, pos + 1, [own]]
+            else:
+                entry[1] = pos + 1
+                entry[2].append(own)
+    return (
+        order,
+        {sid: (lo, hi, owns) for sid, (lo, hi, owns) in members.items()},
+        hub_flags,
+    )
 
 
 def build_hgpa_index(

@@ -19,32 +19,42 @@ __all__ = ["SparseVec", "WIRE_HEADER_BYTES", "WIRE_ENTRY_BYTES"]
 WIRE_HEADER_BYTES = 16
 WIRE_ENTRY_BYTES = 12  # int32 index + float64 value
 
+_WIRE_IDX_MIN = np.iinfo(np.int32).min
+_WIRE_IDX_MAX = np.iinfo(np.int32).max
+
 
 class SparseVec:
-    """Immutable sparse vector: sorted unique indices + nonzero values."""
+    """Immutable sparse vector: sorted unique indices + nonzero values.
+
+    Both arrays are marked read-only, so derived vectors (``scaled``,
+    ``pruned``) may share buffers with their parent without any mutation
+    path from one corrupting the other.
+    """
 
     __slots__ = ("idx", "val")
 
     def __init__(self, idx: np.ndarray, val: np.ndarray, *, _trusted: bool = False):
-        if _trusted:
-            self.idx = idx
-            self.val = val
-            return
-        idx = np.asarray(idx, dtype=np.int64)
-        val = np.asarray(val, dtype=np.float64)
-        if idx.shape != val.shape or idx.ndim != 1:
-            raise SerializationError("idx and val must be 1-D arrays of equal length")
-        order = np.argsort(idx, kind="stable")
-        idx, val = idx[order], val[order]
-        if idx.size and np.any(idx[1:] == idx[:-1]):
-            # Collapse duplicates by summation.
-            uniq, inverse = np.unique(idx, return_inverse=True)
-            summed = np.zeros(uniq.size)
-            np.add.at(summed, inverse, val)
-            idx, val = uniq, summed
-        keep = val != 0.0
-        self.idx = idx[keep]
-        self.val = val[keep]
+        if not _trusted:
+            idx = np.asarray(idx, dtype=np.int64)
+            val = np.asarray(val, dtype=np.float64)
+            if idx.shape != val.shape or idx.ndim != 1:
+                raise SerializationError(
+                    "idx and val must be 1-D arrays of equal length"
+                )
+            order = np.argsort(idx, kind="stable")
+            idx, val = idx[order], val[order]
+            if idx.size and np.any(idx[1:] == idx[:-1]):
+                # Collapse duplicates by summation.
+                uniq, inverse = np.unique(idx, return_inverse=True)
+                summed = np.zeros(uniq.size)
+                np.add.at(summed, inverse, val)
+                idx, val = uniq, summed
+            keep = val != 0.0
+            idx, val = idx[keep], val[keep]
+        idx.flags.writeable = False
+        val.flags.writeable = False
+        self.idx = idx
+        self.val = val
 
     # ------------------------------------------------------------------
     @classmethod
@@ -135,7 +145,19 @@ class SparseVec:
 
     # ------------------------------------------------------------------
     def to_wire(self) -> bytes:
-        """Serialize to the wire format used between machines."""
+        """Serialize to the wire format used between machines.
+
+        Indices travel as int32; anything outside that range cannot be
+        represented and silently wrapping it would corrupt node ids, so the
+        codec refuses instead (indices are sorted, so checking the two ends
+        covers every entry).
+        """
+        if self.nnz and (self.idx[0] < _WIRE_IDX_MIN or self.idx[-1] > _WIRE_IDX_MAX):
+            raise SerializationError(
+                f"index out of int32 wire range: idx spans "
+                f"[{int(self.idx[0])}, {int(self.idx[-1])}], representable "
+                f"range is [{_WIRE_IDX_MIN}, {_WIRE_IDX_MAX}]"
+            )
         head = np.asarray([self.nnz, 0], dtype=np.int64).tobytes()
         return head + self.idx.astype(np.int32).tobytes() + self.val.tobytes()
 

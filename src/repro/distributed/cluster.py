@@ -88,35 +88,46 @@ class ClusterBase:
         query: int,
         partials: dict[int, np.ndarray],
         machine_walls: dict[int, float],
+        *,
+        entries_by_machine: dict[int, int] | None = None,
     ) -> tuple[np.ndarray, QueryReport]:
-        """Serialize per-machine partial vectors, aggregate, build a report."""
+        """Serialize per-machine partial vectors, aggregate, build a report.
+
+        Every per-machine quantity is keyed by ``machine_id`` so compute
+        work and shipped bytes can never be paired across machines; the
+        report's lists are all ordered by ascending machine id.
+        ``entries_by_machine`` overrides the machines' live counters —
+        batched query paths compute the per-query entry counts
+        analytically instead of mutating counters per query.
+        """
         assert self.coordinator is not None
-        payloads: dict[int, bytes] = {}
-        per_bytes: list[int] = []
-        for mid, acc in sorted(partials.items()):
-            payload = SparseVec.from_dense(acc).to_wire()
-            payloads[mid] = payload
-            per_bytes.append(len(payload))
+        if entries_by_machine is None:
+            entries_by_machine = {
+                m.machine_id: m.query_entries for m in self.machines
+            }
+        mids = sorted(partials)
+        payloads: dict[int, bytes] = {
+            mid: SparseVec.from_dense(partials[mid]).to_wire() for mid in mids
+        }
         before = self.coordinator.meter.total_bytes
         self.coordinator.broadcast_query(query, [m.machine_id for m in self.machines])
         t0 = time.perf_counter()
         result = self.coordinator.aggregate(payloads)
         agg_wall = time.perf_counter() - t0
         comm_bytes = self.coordinator.meter.total_bytes - before
-        per_entries = [m.query_entries for m in self.machines]
         # Paper metric: max over machines of (combine work + ship own vector).
         runtime = max(
-            self.cost_model.compute_seconds(entries)
-            + self.cost_model.transfer_seconds(nbytes, 1)
-            for entries, nbytes in zip(per_entries, per_bytes)
+            self.cost_model.compute_seconds(entries_by_machine[mid])
+            + self.cost_model.transfer_seconds(len(payloads[mid]), 1)
+            for mid in mids
         )
         wall = max(machine_walls.values()) + agg_wall if machine_walls else agg_wall
         report = QueryReport(
             query=query,
             runtime_seconds=runtime,
             wall_seconds=wall,
-            per_machine_entries=per_entries,
-            per_machine_bytes=per_bytes,
+            per_machine_entries=[entries_by_machine[mid] for mid in mids],
+            per_machine_bytes=[len(payloads[mid]) for mid in mids],
             communication_bytes=comm_bytes,
         )
         return result, report

@@ -7,6 +7,11 @@ partial vectors of their subgraphs' non-hub members.  At query time the
 machine owning the query node's partial vector adds it (Eq. 5's
 ``v_u`` machine), every machine folds in its own hubs' contributions, and
 each sends exactly one vector to the coordinator.
+
+``_deploy`` also pre-computes, per machine, the sorted list of owned hubs
+and their vectors stacked as one CSC (partials) / CSR (skeletons) pair, so
+a machine's share of a query is one skeleton-row slice plus one
+``CSC @ weights`` product — no per-hub ownership probing on the query path.
 """
 
 from __future__ import annotations
@@ -15,6 +20,14 @@ import time
 
 import numpy as np
 
+from repro.core.flat_index import (
+    DEFAULT_BATCH,
+    find_sorted,
+    hub_weights,
+    run_in_batches,
+    stack_columns,
+    validate_batch,
+)
 from repro.core.gpa import GPAIndex
 from repro.distributed.cluster import ClusterBase, QueryReport
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
@@ -38,24 +51,44 @@ class DistributedGPA(ClusterBase):
         self.init_cluster(num_machines)
         self._hub_owner: dict[int, int] = {}
         self._node_owner: dict[int, int] = {}
+        self._machine_ops: dict[int, tuple] = {}
         self._deploy()
 
     # ------------------------------------------------------------------
     def _deploy(self) -> None:
         index, n = self.index, self.num_machines
-        for i, h in enumerate(index.hubs.tolist()):
-            machine = self.machines[i % n]
-            machine.put(
-                ("hub", h),
-                index.hub_partials[h],
-                build_seconds=index.build_cost.get(("hub", h), 0.0),
+        for machine in self.machines:
+            # Round-robin slice of the (sorted) hub set owned by this
+            # machine — pre-computed once, never rescanned per query.
+            owned = index.hubs[machine.machine_id :: n]
+            for h in owned.tolist():
+                machine.put(
+                    ("hub", h),
+                    index.hub_partials[h],
+                    build_seconds=index.build_cost.get(("hub", h), 0.0),
+                )
+                machine.put(
+                    ("skel", h),
+                    index.skeleton_cols[h],
+                    build_seconds=index.build_cost.get(("skel", h), 0.0),
+                )
+                self._hub_owner[h] = machine.machine_id
+            # Note: the stacked matrices copy the owned vectors' arrays, so
+            # a deployment's resident memory is ~2x the store (the space
+            # *metric* counts the store only) — the price of matmul-form
+            # queries; see the ROADMAP item on zero-copy stacked stores.
+            part_csc = stack_columns(
+                [index.hub_partials[h] for h in owned.tolist()], self.num_nodes
             )
-            machine.put(
-                ("skel", h),
-                index.skeleton_cols[h],
-                build_seconds=index.build_cost.get(("skel", h), 0.0),
+            skel_csr = stack_columns(
+                [index.skeleton_cols[h] for h in owned.tolist()], self.num_nodes
+            ).tocsr()
+            self._machine_ops[machine.machine_id] = (
+                owned,
+                part_csc,
+                skel_csr,
+                np.diff(part_csc.indptr),
             )
-            self._hub_owner[h] = machine.machine_id
         if index.partition is not None:
             part_lists = index.partition.part_nodes
         else:  # pragma: no cover - GPA always carries its partition
@@ -71,37 +104,103 @@ class DistributedGPA(ClusterBase):
                 self._node_owner[u] = machine.machine_id
 
     # ------------------------------------------------------------------
+    def _add_own_vector(self, machine, u: int, u_is_hub: bool, acc) -> None:
+        """The query node's own partial vector, on its owning machine."""
+        if u_is_hub:
+            if self._hub_owner[u] == machine.machine_id:
+                machine.accumulate(acc, ("hub", u))
+                acc[u] += self.index.alpha
+        elif self._node_owner.get(u) == machine.machine_id:
+            machine.accumulate(acc, ("part", u))
+
     def query(self, u: int) -> tuple[np.ndarray, QueryReport]:
         """Distributed PPV of ``u`` plus the paper's per-query metrics."""
         index = self.index
         if not 0 <= u < index.graph.num_nodes:
             raise QueryError(f"query node {u} out of range")
-        alpha = index.alpha
         u_is_hub = index.is_hub(u)
         partials: dict[int, np.ndarray] = {}
         walls: dict[int, float] = {}
         for machine in self.machines:
             machine.reset_query_counters()
+            mid = machine.machine_id
             t0 = time.perf_counter()
-            acc = np.zeros(self.num_nodes)
-            for h in index.hubs.tolist():
-                if self._hub_owner[h] != machine.machine_id:
-                    continue
-                weight = machine.get(("skel", h)).get(u)
-                if h == u:
-                    weight -= alpha
-                if weight != 0.0:
-                    machine.accumulate(acc, ("hub", h), weight / alpha)
-            if u_is_hub:
-                if self._hub_owner[u] == machine.machine_id:
-                    machine.accumulate(acc, ("hub", u))
-                    acc[u] += alpha
-            elif self._node_owner.get(u) == machine.machine_id:
-                machine.accumulate(acc, ("part", u))
+            owned, part_csc, skel_csr, nnz_per_hub = self._machine_ops[mid]
+            if owned.size:
+                weights = hub_weights(skel_csr, owned, u, index.alpha)
+                acc = part_csc @ (weights / index.alpha)
+                machine.query_entries += int(nnz_per_hub[weights != 0.0].sum())
+            else:
+                acc = np.zeros(self.num_nodes)
+            self._add_own_vector(machine, u, u_is_hub, acc)
             machine.query_seconds = time.perf_counter() - t0
-            walls[machine.machine_id] = machine.query_seconds
-            partials[machine.machine_id] = acc
+            walls[mid] = machine.query_seconds
+            partials[mid] = acc
         return self._finish_query(u, partials, walls)
+
+    def query_many(self, nodes) -> tuple[np.ndarray, list[QueryReport]]:
+        """Batched distributed PPVs: one sparse matmul per machine.
+
+        Each machine evaluates its share of the whole batch in a single
+        ``CSC @ weights`` product; serialization, aggregation and metrics
+        then run per query (the wire protocol is unchanged — one vector
+        per machine per query).  Returns a dense ``(len(nodes), n)``
+        matrix plus the per-query reports.
+        """
+        index = self.index
+        nodes = validate_batch(nodes, self.num_nodes)
+        if nodes.size == 0:
+            return np.zeros((0, self.num_nodes)), []
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the per-machine dense (n, batch) intermediates.
+            return run_in_batches(self.query_many, nodes)
+        hub_flags = np.zeros(nodes.size, dtype=bool)
+        hub_flags[find_sorted(index.hubs, nodes)[0]] = True
+        machine_accs: dict[int, np.ndarray] = {}
+        entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
+        walls: dict[int, float] = {}
+        for machine in self.machines:
+            machine.reset_query_counters()
+            mid = machine.machine_id
+            t0 = time.perf_counter()
+            owned, part_csc, skel_csr, nnz_per_hub = self._machine_ops[mid]
+            if owned.size:
+                weights = skel_csr[nodes].toarray()
+                rows, pos = find_sorted(owned, nodes)
+                weights[rows, pos[rows]] -= index.alpha
+                acc = part_csc @ (weights.T / index.alpha)
+                entries[:, mid] = (weights != 0.0).astype(np.int64) @ nnz_per_hub
+            else:
+                acc = np.zeros((self.num_nodes, nodes.size))
+            for k, u in enumerate(nodes.tolist()):
+                own = None
+                if hub_flags[k]:
+                    if self._hub_owner[u] == mid:
+                        own = machine.get(("hub", u))
+                        own.add_into(acc[:, k])
+                        acc[u, k] += index.alpha
+                elif self._node_owner.get(u) == mid:
+                    own = machine.get(("part", u))
+                    own.add_into(acc[:, k])
+                if own is not None:
+                    entries[k, mid] += own.nnz
+            machine.query_seconds = time.perf_counter() - t0
+            walls[mid] = machine.query_seconds / nodes.size
+            machine_accs[mid] = acc
+        out = np.zeros((nodes.size, self.num_nodes))
+        reports: list[QueryReport] = []
+        for k, u in enumerate(nodes.tolist()):
+            result, report = self._finish_query(
+                u,
+                {mid: machine_accs[mid][:, k] for mid in machine_accs},
+                walls,
+                entries_by_machine={
+                    mid: int(entries[k, mid]) for mid in machine_accs
+                },
+            )
+            out[k] = result
+            reports.append(report)
+        return out, reports
 
     # ------------------------------------------------------------------
     def validate_deployment(self) -> None:

@@ -9,6 +9,11 @@ likewise spread round-robin by node.  A query is answered with exactly one
 vector from each machine to the coordinator (Theorem 4: ``O(n·|V|)``
 communication).
 
+``_deploy`` pre-computes, per (machine, subgraph) pair, the machine's owned
+hubs of that level and their vectors stacked as one CSC/CSR pair, so a
+machine's share of a level is a skeleton-row slice plus one
+``CSC @ weights`` product — no ownership rescanning per query.
+
 The port repair of the centralized query (see
 :meth:`repro.core.hgpa.HGPAIndex.query_detailed`) distributes cleanly:
 each machine zeroes its *own* level-term contribution at that level's hub
@@ -22,7 +27,15 @@ import time
 
 import numpy as np
 
-from repro.core.hgpa import HGPAIndex
+from repro.core.flat_index import (
+    DEFAULT_BATCH,
+    csr_row_dense,
+    find_sorted,
+    run_in_batches,
+    stack_columns,
+    validate_batch,
+)
+from repro.core.hgpa import HGPAIndex, _chain_membership
 from repro.distributed.cluster import ClusterBase, QueryReport
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
@@ -45,25 +58,46 @@ class DistributedHGPA(ClusterBase):
         self.init_cluster(num_machines)
         self._hub_owner: dict[int, int] = {}
         self._leaf_owner: dict[int, int] = {}
+        self._level_ops: dict[tuple[int, int], tuple] = {}
         self._deploy()
 
     # ------------------------------------------------------------------
     def _deploy(self) -> None:
         index, n = self.index, self.num_machines
         for sg in index.hierarchy.subgraphs:
-            for i, h in enumerate(sg.hubs.tolist()):
-                machine = self.machines[i % n]
-                machine.put(
-                    ("hub", h),
-                    index.hub_partials[h],
-                    build_seconds=index.build_cost.get(("hub", h), 0.0),
+            for machine in self.machines:
+                mid = machine.machine_id
+                # Round-robin slice of this level's (sorted) hub set owned
+                # by this machine — pre-computed once per deployment.
+                owned = sg.hubs[mid::n]
+                if owned.size == 0:
+                    continue
+                for h in owned.tolist():
+                    machine.put(
+                        ("hub", h),
+                        index.hub_partials[h],
+                        build_seconds=index.build_cost.get(("hub", h), 0.0),
+                    )
+                    machine.put(
+                        ("skel", h),
+                        index.skeleton_cols[h],
+                        build_seconds=index.build_cost.get(("skel", h), 0.0),
+                    )
+                    self._hub_owner[h] = mid
+                part_csc = stack_columns(
+                    [index.hub_partials[h] for h in owned.tolist()],
+                    self.num_nodes,
                 )
-                machine.put(
-                    ("skel", h),
-                    index.skeleton_cols[h],
-                    build_seconds=index.build_cost.get(("skel", h), 0.0),
+                skel_csr = stack_columns(
+                    [index.skeleton_cols[h] for h in owned.tolist()],
+                    self.num_nodes,
+                ).tocsr()
+                self._level_ops[(mid, sg.node_id)] = (
+                    owned,
+                    part_csc,
+                    skel_csr,
+                    np.diff(part_csc.indptr),
                 )
-                self._hub_owner[h] = machine.machine_id
         for i, u in enumerate(sorted(index.leaf_ppv)):
             machine = self.machines[i % n]
             machine.put(
@@ -86,39 +120,128 @@ class DistributedHGPA(ClusterBase):
         walls: dict[int, float] = {}
         for machine in self.machines:
             machine.reset_query_counters()
+            mid = machine.machine_id
             t0 = time.perf_counter()
             acc = np.zeros(self.num_nodes)
             for sg in chain:
-                if sg.hubs.size == 0:
+                ops = self._level_ops.get((mid, sg.node_id))
+                if ops is None:
                     continue
+                owned, part_csc, skel_csr, nnz_per_hub = ops
+                raw = csr_row_dense(skel_csr, u)
+                weights = raw
                 own_level = u_is_hub and sg is chain[-1]
+                if own_level:
+                    hits, pos = find_sorted(owned, np.asarray([u]))
+                    if hits.size:
+                        weights = raw.copy()
+                        weights[pos[0]] -= alpha
+                contrib = part_csc @ (weights / alpha)
+                machine.query_entries += int(nnz_per_hub[weights != 0.0].sum())
                 if not own_level:
-                    snapshot = acc[sg.hubs].copy()
-                for h in sg.hubs.tolist():
-                    if self._hub_owner[h] != machine.machine_id:
-                        continue
-                    weight = machine.get(("skel", h)).get(u)
-                    if h == u:
-                        weight -= alpha
-                    if weight != 0.0:
-                        machine.accumulate(acc, ("hub", h), weight / alpha)
-                if not own_level:
-                    # Zero this machine's own level term at the level's hub
-                    # coordinates; the owners re-add the skeleton values.
-                    acc[sg.hubs] = snapshot
-                    for h in sg.hubs.tolist():
-                        if self._hub_owner[h] == machine.machine_id:
-                            acc[h] += machine.get(("skel", h)).get(u)
+                    # Zero this machine's level term at the level's hub
+                    # coordinates; the hubs' owners re-add the skeleton
+                    # values (the distributed port repair).
+                    contrib[sg.hubs] = 0.0
+                    contrib[owned] = raw
+                acc += contrib
             if u_is_hub:
-                if self._hub_owner[u] == machine.machine_id:
+                if self._hub_owner[u] == mid:
                     machine.accumulate(acc, ("hub", u))
                     acc[u] += alpha
-            elif self._leaf_owner.get(u) == machine.machine_id:
+            elif self._leaf_owner.get(u) == mid:
                 machine.accumulate(acc, ("leaf", u))
             machine.query_seconds = time.perf_counter() - t0
-            walls[machine.machine_id] = machine.query_seconds
-            partials[machine.machine_id] = acc
+            walls[mid] = machine.query_seconds
+            partials[mid] = acc
         return self._finish_query(u, partials, walls)
+
+    def query_many(self, nodes) -> tuple[np.ndarray, list[QueryReport]]:
+        """Batched distributed PPVs: one sparse matmul per machine level.
+
+        Queries are grouped by the subgraphs their chains traverse (as in
+        :meth:`repro.core.hgpa.HGPAIndex.query_many`); each machine then
+        evaluates its owned share of every group in one ``CSC @ weights``
+        product.  Serialization, aggregation and metrics run per query —
+        the wire protocol is unchanged.  Returns a dense
+        ``(len(nodes), n)`` matrix plus the per-query reports.
+        """
+        index = self.index
+        nodes = validate_batch(nodes, self.num_nodes)
+        if nodes.size == 0:
+            return np.zeros((0, self.num_nodes)), []
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the per-machine dense (n, batch) intermediates.
+            return run_in_batches(self.query_many, nodes)
+        alpha = index.alpha
+        order, members, hub_flags = _chain_membership(index.hierarchy, nodes)
+        ordered = nodes[order]
+        inv_order = np.empty_like(order)
+        inv_order[order] = np.arange(order.size)
+        machine_accs: dict[int, np.ndarray] = {}
+        entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
+        walls: dict[int, float] = {}
+        for machine in self.machines:
+            machine.reset_query_counters()
+            mid = machine.machine_id
+            t0 = time.perf_counter()
+            acc = np.zeros((self.num_nodes, nodes.size))  # ordered columns
+            for sid, (lo, hi, own_list) in members.items():
+                ops = self._level_ops.get((mid, sid))
+                if ops is None:
+                    continue
+                owned, part_csc, skel_csr, nnz_per_hub = ops
+                own_arr = np.asarray(own_list, dtype=bool)
+                qnodes = ordered[lo:hi]
+                raw = skel_csr[qnodes].toarray()
+                weights = raw.copy()
+                own_rows = np.nonzero(own_arr)[0]
+                if own_rows.size:
+                    mine, pos = find_sorted(owned, qnodes[own_rows])
+                    weights[own_rows[mine], pos[mine]] -= alpha
+                contrib = part_csc @ (weights.T / alpha)
+                rest = np.nonzero(~own_arr)[0]
+                if rest.size:
+                    level_hubs = index.hierarchy.subgraphs[sid].hubs
+                    contrib[np.ix_(level_hubs, rest)] = 0.0
+                    contrib[np.ix_(owned, rest)] = raw[rest].T
+                acc[:, lo:hi] += contrib
+                entries[order[lo:hi], mid] += (
+                    (weights != 0.0).astype(np.int64) @ nnz_per_hub
+                )
+            for k, u in enumerate(nodes.tolist()):
+                own = None
+                col = acc[:, inv_order[k]]
+                if hub_flags[k]:
+                    if self._hub_owner[u] == mid:
+                        own = machine.get(("hub", u))
+                        own.add_into(col)
+                        col[u] += alpha
+                elif self._leaf_owner.get(u) == mid:
+                    own = machine.get(("leaf", u))
+                    own.add_into(col)
+                if own is not None:
+                    entries[k, mid] += own.nnz
+            machine.query_seconds = time.perf_counter() - t0
+            walls[mid] = machine.query_seconds / nodes.size
+            machine_accs[mid] = acc
+        out = np.zeros((nodes.size, self.num_nodes))
+        reports: list[QueryReport] = []
+        for k, u in enumerate(nodes.tolist()):
+            result, report = self._finish_query(
+                u,
+                {
+                    mid: machine_accs[mid][:, inv_order[k]]
+                    for mid in machine_accs
+                },
+                walls,
+                entries_by_machine={
+                    mid: int(entries[k, mid]) for mid in machine_accs
+                },
+            )
+            out[k] = result
+            reports.append(report)
+        return out, reports
 
     # ------------------------------------------------------------------
     def validate_deployment(self) -> None:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.approx import build_fastppv_index, monte_carlo_ppv
-from repro.core import power_iteration_ppv
 from repro.errors import IndexBuildError, QueryError
 from repro.metrics import average_l1, l_inf, precision_at_k
 

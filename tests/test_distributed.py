@@ -9,7 +9,7 @@ partitions without duplication, and pre-computation splits evenly.
 import numpy as np
 import pytest
 
-from repro.core import SparseVec, build_gpa_index, build_hgpa_index
+from repro.core import SparseVec
 from repro.distributed import (
     CostModel,
     DistributedGPA,
@@ -140,6 +140,79 @@ class TestCommunicationBound:
         assert report.wall_seconds > 0
         assert report.communication_kb == report.communication_bytes / 1024
         assert report.load_imbalance >= 1.0
+
+
+class TestFinishQueryPairing:
+    def test_metrics_keyed_by_machine_id(self):
+        """Regression: entries and bytes must pair by machine id even when
+        ``machines`` is not sorted by id (the old code zipped a
+        machines-ordered list against a sorted-key list)."""
+        from repro.distributed.cluster import ClusterBase
+        from repro.distributed.coordinator import Coordinator
+
+        cb = ClusterBase(num_nodes=4)
+        cb.machines = [Machine(2), Machine(0), Machine(1)]  # shuffled on purpose
+        cb.coordinator = Coordinator(num_nodes=4)
+        entries = {2: 2_000_000, 0: 0, 1: 10}
+        for m in cb.machines:
+            m.query_entries = entries[m.machine_id]
+        partials = {
+            0: np.array([1.0, 2.0, 3.0, 4.0]),  # 4 entries -> most bytes
+            1: np.array([1.0, 0.0, 0.0, 0.0]),
+            2: np.array([0.0, 0.0, 0.0, 0.0]),  # heavy compute, empty vector
+        }
+        result, report = cb._finish_query(5, dict(partials), {})
+        np.testing.assert_allclose(result, sum(partials.values()))
+        # Lists are ordered by ascending machine id.
+        assert report.per_machine_entries == [0, 10, 2_000_000]
+        assert report.per_machine_bytes == [16 + 12 * 4, 16 + 12 * 1, 16]
+        # The paper runtime pairs machine 2's compute with *its own* bytes.
+        expected = max(
+            cb.cost_model.compute_seconds(entries[mid])
+            + cb.cost_model.transfer_seconds(report.per_machine_bytes[mid], 1)
+            for mid in (0, 1, 2)
+        )
+        assert report.runtime_seconds == pytest.approx(expected)
+
+    def test_entries_override(self):
+        from repro.distributed.cluster import ClusterBase
+        from repro.distributed.coordinator import Coordinator
+
+        cb = ClusterBase(num_nodes=2)
+        cb.machines = [Machine(0), Machine(1)]
+        cb.coordinator = Coordinator(num_nodes=2)
+        partials = {0: np.array([1.0, 0.0]), 1: np.array([0.0, 1.0])}
+        _, report = cb._finish_query(
+            0, partials, {}, entries_by_machine={0: 7, 1: 9}
+        )
+        assert report.per_machine_entries == [7, 9]
+
+
+class TestOwnershipPrecompute:
+    def test_gpa_owned_hub_lists(self, dist_gpa):
+        seen = {}
+        for mid, (owned, part_csc, skel_csr, nnz) in sorted(
+            dist_gpa._machine_ops.items()
+        ):
+            assert np.all(np.diff(owned) > 0)  # sorted, unique
+            assert part_csc.shape == (dist_gpa.num_nodes, owned.size)
+            assert skel_csr.shape == (dist_gpa.num_nodes, owned.size)
+            assert nnz.size == owned.size
+            for h in owned.tolist():
+                assert dist_gpa._hub_owner[h] == mid
+                seen[h] = mid
+        assert set(seen) == set(dist_gpa.index.hub_partials)
+
+    def test_hgpa_owned_level_lists(self, dist_hgpa):
+        seen = set()
+        for (mid, sid), (owned, part_csc, _, _) in dist_hgpa._level_ops.items():
+            sg = dist_hgpa.index.hierarchy.subgraphs[sid]
+            assert np.all(np.isin(owned, sg.hubs))
+            assert np.all(np.diff(owned) > 0)
+            for h in owned.tolist():
+                assert dist_hgpa._hub_owner[h] == mid
+                seen.add(h)
+        assert seen == set(dist_hgpa.index.hub_partials)
 
 
 class TestDeployment:

@@ -1,6 +1,5 @@
 """Tests for the Pregel+/Blogel engine baselines (Section 6.2.8)."""
 
-import numpy as np
 import pytest
 
 from repro.core import expected_iterations, power_iteration_ppv

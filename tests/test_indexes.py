@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.errors import IndexBuildError, QueryError
 from repro.graph import hierarchical_community_digraph
-from repro.metrics import average_l1, l_inf
+from repro.metrics import l_inf
 
 from conftest import EXACT_ATOL, TIGHT_TOL
 

@@ -115,3 +115,82 @@ class TestWire:
         v = SparseVec(idx, val)
         back = SparseVec.from_wire(v.to_wire())
         assert back == v
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from([0, 1, 2, 3, 2**31 - 2, 2**31 - 1]),
+            min_size=0,
+            max_size=9,
+        )
+    )
+    def test_property_duplicate_and_boundary_roundtrip(self, indices):
+        """Empty / odd-nnz / duplicate-index / boundary-index vectors."""
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.ones(idx.size)
+        v = SparseVec(idx, val)  # duplicates collapse by summation
+        back = SparseVec.from_wire(v.to_wire())
+        assert back == v
+        assert back.idx.size == np.unique(idx).size
+
+    def test_odd_nnz_roundtrip(self):
+        v = SparseVec(np.arange(7), np.linspace(-1.0, 1.0, 7) + 2.0)
+        assert v.nnz == 7  # odd on purpose
+        assert SparseVec.from_wire(v.to_wire()) == v
+
+    def test_boundary_index_survives(self):
+        top = 2**31 - 1
+        v = SparseVec(np.array([0, top]), np.array([1.0, 2.0]))
+        back = SparseVec.from_wire(v.to_wire())
+        assert back.idx.tolist() == [0, top]
+
+    def test_out_of_range_index_rejected(self):
+        """Regression: 2**31+5 used to round-trip as -2147483643."""
+        v = SparseVec(np.array([2**31 + 5]), np.array([1.0]))
+        with pytest.raises(SerializationError, match="int32 wire range"):
+            v.to_wire()
+
+    def test_negative_out_of_range_rejected(self):
+        v = SparseVec(np.array([-(2**31) - 1]), np.array([1.0]))
+        with pytest.raises(SerializationError, match="int32 wire range"):
+            v.to_wire()
+
+    def test_wire_bytes_metric_still_defined_for_oversized(self):
+        """The space metric is size accounting, not serialization."""
+        v = SparseVec(np.array([2**31 + 5]), np.array([1.0]))
+        assert v.wire_bytes == WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES
+
+
+class TestImmutability:
+    def test_arrays_read_only(self):
+        v = SparseVec(np.array([1, 5]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            v.idx[0] = 99
+        with pytest.raises(ValueError):
+            v.val[0] = 99.0
+
+    def test_scaled_cannot_corrupt_parent(self):
+        parent = SparseVec(np.array([1, 5]), np.array([1.0, 2.0]))
+        child = parent.scaled(3.0)
+        with pytest.raises(ValueError):
+            child.idx[0] = 42
+        with pytest.raises(ValueError):
+            child.val[0] = 42.0
+        assert parent.idx.tolist() == [1, 5]
+        assert parent.val.tolist() == [1.0, 2.0]
+
+    def test_pruned_cannot_corrupt_parent(self):
+        parent = SparseVec(np.array([0, 1]), np.array([1e-9, 1.0]))
+        child = parent.pruned(1e-6)
+        with pytest.raises(ValueError):
+            child.val[0] = 7.0
+        assert parent.get(0) == 1e-9
+
+    def test_trusted_constructor_freezes(self):
+        idx = np.array([3], dtype=np.int64)
+        val = np.array([1.5])
+        v = SparseVec(idx, val, _trusted=True)
+        with pytest.raises(ValueError):
+            v.idx[0] = 0
+        with pytest.raises(ValueError):
+            idx[0] = 0  # the very same buffer
