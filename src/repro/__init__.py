@@ -19,7 +19,17 @@ Quickstart::
     ref = power_iteration_ppv(graph, 42, tol=1e-6)
 """
 
-from repro import approx, core, datasets, distributed, engines, graph, metrics, partition
+from repro import (
+    approx,
+    core,
+    datasets,
+    distributed,
+    engines,
+    graph,
+    metrics,
+    partition,
+    serving,
+)
 from repro.errors import (
     ClusterError,
     ConvergenceError,
@@ -29,6 +39,7 @@ from repro.errors import (
     QueryError,
     ReproError,
     SerializationError,
+    ServingError,
 )
 
 __version__ = "1.0.0"
@@ -42,6 +53,7 @@ __all__ = [
     "approx",
     "metrics",
     "datasets",
+    "serving",
     "ReproError",
     "GraphError",
     "PartitionError",
@@ -50,5 +62,6 @@ __all__ = [
     "ConvergenceError",
     "ClusterError",
     "SerializationError",
+    "ServingError",
     "__version__",
 ]

@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.decomposition import as_view, partial_vectors
-from repro.core.flat_index import DEFAULT_BATCH, run_in_batches, validate_batch
+from repro.core.flat_index import (
+    DEFAULT_BATCH,
+    run_in_batches,
+    topk_in_batches,
+    validate_batch,
+)
 from repro.core.sparsevec import SparseVec
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.analysis import top_pagerank_nodes
@@ -162,6 +167,56 @@ class FastPPVIndex:
                 )
             )
         return out, infos
+
+    def query_topk(
+        self,
+        u: int,
+        k: int,
+        *,
+        max_expansions: int | None = None,
+        frontier_cutoff: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` of the approximate PPV of ``u``: ``(ids, scores)``.
+
+        Best first, ties broken by smaller id; ``k`` larger than the
+        graph returns all ``n`` nodes.
+        """
+        ids, scores, _ = self.query_many_topk(
+            np.asarray([u]),
+            k,
+            max_expansions=max_expansions,
+            frontier_cutoff=frontier_cutoff,
+        )
+        return ids[0], scores[0]
+
+    def query_many_topk(
+        self,
+        nodes,
+        k: int,
+        *,
+        batch: int = DEFAULT_BATCH,
+        max_expansions: int | None = None,
+        frontier_cutoff: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[FastPPVQueryInfo]]:
+        """Batched approximate top-``k`` without materialising full PPVs.
+
+        Each ``batch``-sized chunk is solved and expanded via
+        :meth:`query_many`, then reduced to its per-row top-k before the
+        next chunk runs, bounding dense intermediates at ``(batch, n)``.
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        return topk_in_batches(
+            lambda chunk: self.query_many(
+                chunk,
+                max_expansions=max_expansions,
+                frontier_cutoff=frontier_cutoff,
+            ),
+            nodes,
+            k,
+            n,
+            batch,
+        )
 
     def _expand_frontier(
         self,

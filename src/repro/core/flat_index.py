@@ -27,6 +27,7 @@ import scipy.sparse as sp
 from repro.core.decomposition import as_view, partial_vectors, skeleton_columns
 from repro.core.sparsevec import SparseVec
 from repro.errors import QueryError
+from repro.metrics.ranking import top_k_nodes
 from repro.graph.digraph import DiGraph
 from repro.graph.subgraph import VirtualSubgraph
 
@@ -40,6 +41,8 @@ __all__ = [
     "hub_weights",
     "validate_batch",
     "run_in_batches",
+    "topk_rows",
+    "topk_in_batches",
 ]
 
 DEFAULT_BATCH = 256
@@ -132,16 +135,74 @@ def run_in_batches(
 
     Bounds the dense intermediates of the wrapped engine at
     ``batch × n`` floats per buffer; results and per-query metadata are
-    concatenated transparently.
+    concatenated transparently.  An empty batch is delegated to the
+    wrapped engine so the result keeps its ``(0, n)`` shape — callers
+    that concatenate rows or index columns must never see ``(0, 0)``.
     """
+    if nodes.size == 0:
+        out, meta = query_many_fn(nodes)
+        return out, list(meta)
     outs, metas = [], []
     for lo in range(0, nodes.size, batch):
         out, meta = query_many_fn(nodes[lo : lo + batch])
         outs.append(out)
         metas.extend(meta)
-    if not outs:
-        return np.zeros((0, 0)), metas
     return np.vstack(outs), metas
+
+
+def topk_rows(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-k of a ``(rows, n)`` matrix: ``(ids, scores)`` pairs.
+
+    Each row is :func:`repro.metrics.top_k_nodes` — one selection
+    algorithm, one tie contract (best first, ties by smaller id, also at
+    the k boundary, so the result is deterministic even on vectors full
+    of equal entries, e.g. pruned PPVs' exact zeros).  ``k`` is clamped
+    to the row length.
+    """
+    rows, n = dense.shape
+    k = min(k, n)
+    if k <= 0 or rows == 0:
+        return (
+            np.empty((rows, max(k, 0)), dtype=np.int64),
+            np.empty((rows, max(k, 0))),
+        )
+    ids = np.empty((rows, k), dtype=np.int64)
+    scores = np.empty((rows, k))
+    for r in range(rows):
+        ids[r] = top_k_nodes(dense[r], k)
+        scores[r] = dense[r][ids[r]]
+    return ids, scores
+
+
+def topk_in_batches(
+    query_many_fn,
+    nodes: np.ndarray,
+    k: int,
+    num_nodes: int,
+    batch: int = DEFAULT_BATCH,
+) -> tuple[np.ndarray, np.ndarray, list]:
+    """Chunked top-k reduction over a ``query_many``-style callable.
+
+    Evaluates ``batch`` queries at a time and reduces each dense chunk to
+    its per-row top-k immediately, so the full ``(len(nodes), n)`` matrix
+    is never materialised — only the ``(len(nodes), k)`` ids/scores and
+    one ``(batch, n)`` chunk live at once.  This is the shared engine
+    behind every index family's ``query_many_topk`` and the serving
+    adapters for the distributed runtimes.
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+    k_eff = min(k, num_nodes)
+    ids = np.empty((nodes.size, k_eff), dtype=np.int64)
+    scores = np.empty((nodes.size, k_eff))
+    metas: list = []
+    step = max(1, batch)
+    for lo in range(0, nodes.size, step):
+        sl = slice(lo, min(lo + step, nodes.size))
+        dense, meta = query_many_fn(nodes[sl])
+        ids[sl], scores[sl] = topk_rows(dense, k_eff)
+        metas.extend(meta)
+    return ids, scores, metas
 
 
 def hub_weights(
@@ -279,6 +340,32 @@ class FlatPPVIndex:
             for k, u in enumerate(chunk.tolist()):
                 self._add_own_term(u, out[lo + k], stats[lo + k])
         return out, stats
+
+    def query_topk(self, u: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` of the exact PPV of ``u``: ``(ids, scores)``, best first.
+
+        Ties break by smaller id (the :func:`repro.metrics.top_k_nodes`
+        order); ``k`` larger than the graph returns all ``n`` nodes.
+        """
+        ids, scores, _ = self.query_many_topk(np.asarray([u]), k)
+        return ids[0], scores[0]
+
+    def query_many_topk(
+        self, nodes, k: int, *, batch: int = DEFAULT_BATCH
+    ) -> tuple[np.ndarray, np.ndarray, list[QueryStats]]:
+        """Batched top-``k`` queries without materialising full PPVs.
+
+        Returns ``(ids, scores, stats)`` where ``ids``/``scores`` are
+        ``(len(nodes), min(k, n))`` arrays, row ``j`` holding the best-k
+        entries of ``nodes[j]``'s PPV.  Dense intermediates are bounded at
+        one ``(batch, n)`` chunk — the full ``(len(nodes), n)`` matrix of
+        :meth:`query_many` is never built.
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        return topk_in_batches(
+            lambda chunk: self.query_many(chunk, batch=None), nodes, k, n, batch
+        )
 
     def query_reference(self, u: int) -> tuple[np.ndarray, QueryStats]:
         """Eq. 4 evaluated hub-by-hub — the pre-vectorisation reference.

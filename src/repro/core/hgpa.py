@@ -34,6 +34,7 @@ from repro.core.flat_index import (
     find_sorted,
     run_in_batches,
     stack_columns,
+    topk_in_batches,
     validate_batch,
 )
 from repro.core.sparsevec import SparseVec
@@ -186,6 +187,29 @@ class HGPAIndex:
             stats[qpos].entries_processed += own.nnz
             stats[qpos].vectors_used += 1
         return out, stats
+
+    def query_topk(self, u: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` of the exact PPV of ``u``: ``(ids, scores)``, best first.
+
+        Ties break by smaller id; ``k`` larger than the graph returns all
+        ``n`` nodes.
+        """
+        ids, scores, _ = self.query_many_topk(np.asarray([u]), k)
+        return ids[0], scores[0]
+
+    def query_many_topk(
+        self, nodes, k: int, *, batch: int = DEFAULT_BATCH
+    ) -> tuple[np.ndarray, np.ndarray, list[QueryStats]]:
+        """Batched top-``k`` queries without materialising full PPVs.
+
+        Each ``batch``-sized chunk runs through :meth:`query_many` (one
+        sparse matmul per level group) and is reduced to its per-row
+        top-k before the next chunk is evaluated, bounding the dense
+        intermediates at one ``(batch, n)`` block.
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        return topk_in_batches(self.query_many, nodes, k, n, batch)
 
     def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
         """PPV of ``u`` plus work counters (Eq. 6 evaluation).

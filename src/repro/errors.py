@@ -39,3 +39,7 @@ class ClusterError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when a wire payload cannot be encoded or decoded."""
+
+
+class ServingError(ReproError):
+    """Raised for invalid serving-layer configurations or requests."""

@@ -21,22 +21,44 @@ __all__ = ["top_k_nodes", "precision_at_k", "rag_at_k", "kendall_tau_at_k"]
 
 
 def top_k_nodes(scores: np.ndarray, k: int) -> np.ndarray:
-    """Ids of the ``k`` largest entries, best first (ties by id)."""
+    """Ids of the ``k`` largest entries, best first (ties by id).
+
+    Ties are broken by smaller id *including at the k boundary*: when
+    several nodes share the kth score, the smallest ids among them fill
+    the remaining slots (argpartition alone would pick an arbitrary
+    subset of the tied group).
+    """
     scores = np.asarray(scores)
     k = min(k, scores.size)
     if k <= 0:
         return np.empty(0, dtype=np.int64)
     part = np.argpartition(-scores, k - 1)[:k]
-    return part[np.lexsort((part, -scores[part]))]
+    kth = scores[part].min()
+    above = np.nonzero(scores > kth)[0]
+    tied = np.nonzero(scores == kth)[0][: k - above.size]
+    sel = np.concatenate([above, tied])
+    return sel[np.lexsort((sel, -scores[sel]))]
 
 
 def precision_at_k(approx: np.ndarray, exact: np.ndarray, k: int) -> float:
-    """``|top_k(approx) ∩ top_k(exact)| / k``."""
+    """``|top_k(approx) ∩ top_k(exact)| / min(k, scores.size)``.
+
+    The denominator is the largest overlap the two sets can achieve: when
+    ``k`` exceeds the number of scored nodes, both top-k sets contain
+    every node, so a short score vector is graded against ``scores.size``
+    rather than the unreachable ``k`` (two identical 3-node vectors score
+    1.0 at ``k=100``, not 0.03).  Two empty vectors agree vacuously.
+    """
     if k <= 0:
         raise ReproError("k must be positive")
     a = set(top_k_nodes(approx, k).tolist())
     e = set(top_k_nodes(exact, k).tolist())
-    return len(a & e) / min(k, max(1, len(e)))
+    # max of both sizes: a one-sided empty vector has zero overlap and
+    # must score 0, not a vacuous 1 keyed to the empty side alone.
+    denom = min(k, max(np.asarray(approx).size, np.asarray(exact).size))
+    if denom == 0:
+        return 1.0
+    return len(a & e) / denom
 
 
 def rag_at_k(approx: np.ndarray, exact: np.ndarray, k: int) -> float:

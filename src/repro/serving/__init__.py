@@ -1,0 +1,35 @@
+"""Serving layer: micro-batching frontend, result cache, backend adapters.
+
+The indexes exist to *serve* PPV queries; this package turns the batched
+``query_many`` engines into a query service shaped like production PPR
+traffic — single-node requests, heavy skew, top-k answers:
+
+* :class:`PPVService` — accepts requests, micro-batches them inside a
+  configurable window, answers each batch with one ``query_many`` call;
+* :class:`PPVCache` — byte-budgeted LRU over dense PPV rows with
+  hit/miss/eviction accounting and read-only entries;
+* :func:`as_backend` — one interface over every index family and both
+  simulated distributed runtimes.
+"""
+
+from repro.serving.adapters import QueryBackend, as_backend
+from repro.serving.cache import CacheStats, PPVCache
+from repro.serving.service import (
+    PPVService,
+    ServiceStats,
+    SimulatedClock,
+    SystemClock,
+    Ticket,
+)
+
+__all__ = [
+    "QueryBackend",
+    "as_backend",
+    "CacheStats",
+    "PPVCache",
+    "PPVService",
+    "ServiceStats",
+    "SimulatedClock",
+    "SystemClock",
+    "Ticket",
+]

@@ -1,0 +1,81 @@
+"""Uniform query backend over every index family and distributed runtime.
+
+The serving frontend only needs three things from an engine: how many
+nodes the graph has, a batched ``query_many`` returning a dense
+``(batch, n)`` matrix, and a batched top-k.  The centralized indexes
+(:class:`~repro.core.flat_index.FlatPPVIndex` subclasses,
+:class:`~repro.core.hgpa.HGPAIndex`,
+:class:`~repro.approx.fastppv.FastPPVIndex`) and the simulated
+distributed runtimes (:class:`~repro.distributed.gpa_runtime.DistributedGPA`,
+:class:`~repro.distributed.hgpa_runtime.DistributedHGPA`) expose those
+with slightly different shapes — indexes hang ``num_nodes`` off their
+graph and return per-query :class:`~repro.core.flat_index.QueryStats`,
+runtimes carry ``num_nodes`` themselves and return
+:class:`~repro.distributed.cluster.QueryReport` lists — so
+:func:`as_backend` wraps either behind one interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flat_index import DEFAULT_BATCH, topk_in_batches, validate_batch
+from repro.distributed.cluster import ClusterBase
+from repro.errors import ServingError
+
+__all__ = ["QueryBackend", "as_backend"]
+
+
+class QueryBackend:
+    """One engine behind the uniform serving interface.
+
+    ``query_many(nodes)`` returns ``(dense (len, n) matrix, per-query
+    metadata list)``; ``query_many_topk(nodes, k)`` returns ``(ids,
+    scores, metadata)`` with chunk-bounded dense intermediates, using the
+    engine's native top-k path when it has one.
+    """
+
+    def __init__(self, engine, num_nodes: int):
+        self.engine = engine
+        self.num_nodes = int(num_nodes)
+
+    def query_many(self, nodes) -> tuple[np.ndarray, list]:
+        return self.engine.query_many(nodes)
+
+    def query_many_topk(
+        self, nodes, k: int, *, batch: int = DEFAULT_BATCH
+    ) -> tuple[np.ndarray, np.ndarray, list]:
+        native = getattr(self.engine, "query_many_topk", None)
+        if native is not None:
+            return native(nodes, k, batch=batch)
+        nodes = validate_batch(nodes, self.num_nodes)
+        return topk_in_batches(
+            self.engine.query_many, nodes, k, self.num_nodes, batch
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<QueryBackend over {type(self.engine).__name__}>"
+
+
+def as_backend(engine) -> QueryBackend:
+    """Wrap an index or distributed runtime as a :class:`QueryBackend`.
+
+    Accepts anything with a ``query_many``: the centralized indexes
+    (``num_nodes`` read off ``engine.graph``) and the distributed
+    runtimes (``num_nodes`` on the runtime itself).  An existing backend
+    passes through unchanged.
+    """
+    if isinstance(engine, QueryBackend):
+        return engine
+    if not callable(getattr(engine, "query_many", None)):
+        raise ServingError(
+            f"{type(engine).__name__} has no query_many — not a servable engine"
+        )
+    if isinstance(engine, ClusterBase):
+        return QueryBackend(engine, engine.num_nodes)
+    graph = getattr(engine, "graph", None)
+    if graph is not None and hasattr(graph, "num_nodes"):
+        return QueryBackend(engine, graph.num_nodes)
+    raise ServingError(
+        f"cannot determine num_nodes for {type(engine).__name__}"
+    )

@@ -1,0 +1,116 @@
+"""LRU cache of dense PPV results, keyed by query node.
+
+The serving workload of a PPR system is heavily skewed — a small set of
+hot users accounts for most queries (the traffic shape Lin's distributed
+fully-personalized-PPR work designs for) — so answering repeats from a
+result cache removes most of the backend load.  Entries are dense PPV
+rows; the budget is expressed in *bytes* because rows are ``8n`` bytes
+each and the operator sizes the cache against machine memory, not entry
+counts.
+
+Cached arrays are stored and returned **read-only**: a hit hands the
+caller the cache's own buffer (no copy on the hot path), and NumPy's
+writeable flag guarantees no caller can corrupt the shared entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = ["CacheStats", "PPVCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`PPVCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class PPVCache:
+    """Byte-budgeted LRU over dense PPV rows.
+
+    ``get`` returns the stored read-only array without copying (or
+    ``None`` on a miss); ``put`` inserts a read-only copy and evicts
+    least-recently-used entries until the budget holds.  A vector larger
+    than the whole budget is rejected outright instead of evicting
+    everything for an entry that cannot help future queries.
+    """
+
+    def __init__(self, max_bytes: int):
+        if max_bytes <= 0:
+            raise ServingError(f"cache budget must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.current_bytes = 0
+        self.stats = CacheStats()
+        self._store: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, u: int) -> bool:
+        """Membership probe without touching recency or hit/miss stats."""
+        return u in self._store
+
+    def get(self, u: int) -> np.ndarray | None:
+        """The cached PPV of ``u`` (read-only, shared) or ``None``."""
+        arr = self._store.get(u)
+        if arr is None:
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(u)
+        self.stats.hits += 1
+        return arr
+
+    def put(self, u: int, vec: np.ndarray) -> bool:
+        """Insert the PPV of ``u``; returns False if it can never fit.
+
+        Already-read-only float64 arrays are stored as-is (the service
+        shares one buffer between the cache and every resolved request);
+        anything writeable is defensively copied first.
+        """
+        arr = np.asarray(vec, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ServingError("cache entries must be 1-D PPV rows")
+        if arr.flags.writeable or arr.base is not None:
+            # Copy anything writeable — and any *view*, which would pin
+            # its whole base buffer while only the row is accounted.
+            arr = arr.copy()
+            arr.flags.writeable = False
+        if arr.nbytes > self.max_bytes:
+            return False
+        old = self._store.pop(u, None)
+        if old is not None:
+            self.current_bytes -= old.nbytes
+        self._store[u] = arr
+        self.current_bytes += arr.nbytes
+        self.stats.inserts += 1
+        while self.current_bytes > self.max_bytes:
+            _, evicted = self._store.popitem(last=False)
+            self.current_bytes -= evicted.nbytes
+            self.stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept — they describe the workload)."""
+        self._store.clear()
+        self.current_bytes = 0

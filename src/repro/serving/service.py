@@ -1,0 +1,278 @@
+"""Micro-batching PPV query frontend.
+
+A PPR serving system sees a stream of single-node requests, but the
+engines underneath answer *batches* far more cheaply than loops of
+single queries (one stacked sparse matmul amortises the skeleton-row
+slicing across the whole batch — the PR 1 ``query_many`` win).
+:class:`PPVService` bridges the two: requests are queued, held for at
+most one *batch window* (a few milliseconds), deduplicated, answered by
+a single ``query_many`` call, and optionally remembered in an LRU
+:class:`~repro.serving.cache.PPVCache` so the skewed tail of repeat
+queries never reaches the backend at all.
+
+Time is injected through a clock object so tests and simulations are
+deterministic: :class:`SystemClock` follows ``time.monotonic`` for real
+deployments, :class:`SimulatedClock` is advanced manually (e.g. by a
+recorded arrival process) and makes batch formation reproducible.
+"""
+
+from __future__ import annotations
+
+import operator
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flat_index import DEFAULT_BATCH, topk_rows, validate_batch
+from repro.errors import ServingError
+from repro.serving.adapters import as_backend
+from repro.serving.cache import PPVCache
+
+__all__ = [
+    "SystemClock",
+    "SimulatedClock",
+    "Ticket",
+    "ServiceStats",
+    "PPVService",
+]
+
+
+class SystemClock:
+    """Real time — ``time.monotonic`` behind the clock interface."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class SimulatedClock:
+    """Manually-advanced clock for deterministic batching in tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ServingError("cannot advance a clock backwards")
+        self._now += dt
+
+    def advance_to(self, t: float) -> None:
+        """Jump to ``t`` (no-op when ``t`` is in the past — arrivals may tie)."""
+        self._now = max(self._now, float(t))
+
+
+_PENDING = object()
+
+
+class Ticket:
+    """One submitted request; resolves when its batch is flushed."""
+
+    __slots__ = ("node", "cached", "_value")
+
+    def __init__(self, node: int):
+        self.node = node
+        self.cached = False
+        self._value = _PENDING
+
+    @property
+    def done(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def result(self) -> np.ndarray:
+        """The dense PPV (read-only); raises while still queued."""
+        if self._value is _PENDING:
+            raise ServingError(
+                f"request for node {self.node} not served yet — "
+                "call poll()/flush() on the service"
+            )
+        return self._value
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+
+
+@dataclass
+class ServiceStats:
+    """Traffic counters of one :class:`PPVService`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_queries: int = 0  # deduplicated nodes sent to the backend
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_queries / self.batches if self.batches else 0.0
+
+
+class PPVService:
+    """Micro-batching frontend over any servable engine.
+
+    ``submit`` enqueues a single-node request and returns a
+    :class:`Ticket`; the queue is flushed into one backend
+    ``query_many`` call when the oldest pending request has waited
+    ``window`` seconds (checked by :meth:`poll`) or ``max_batch``
+    requests are pending (checked eagerly).  With a cache attached,
+    hits resolve immediately and never reach the backend.
+
+    Results are read-only arrays shared between the cache and every
+    ticket of the same node — exact to the backend's ``query_many``,
+    which each index family keeps within 1e-12 of its per-node ``query``.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        window: float = 0.01,
+        max_batch: int = DEFAULT_BATCH,
+        cache: PPVCache | int | None = None,
+        clock=None,
+    ):
+        if window < 0:
+            raise ServingError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        self.backend = as_backend(engine)
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        if isinstance(cache, int):
+            cache = PPVCache(cache)
+        self.cache = cache
+        self.clock = clock if clock is not None else SystemClock()
+        self.stats = ServiceStats()
+        self._pending: list[Ticket] = []
+        self._deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests waiting for the current batch window to close."""
+        return len(self._pending)
+
+    def submit(self, u: int) -> Ticket:
+        """Enqueue one request; resolves on cache hit or at the flush.
+
+        Only genuine integer ids are accepted — truncating ``3.7`` to
+        node 3 would serve the wrong PPV without any error (the same
+        contract as ``validate_batch`` on the direct batch API).
+        """
+        try:
+            u = operator.index(u)
+        except TypeError:
+            raise ServingError(
+                f"query node ids must be integers, got {u!r}"
+            ) from None
+        if not 0 <= u < self.backend.num_nodes:
+            raise ServingError(f"query node {u} out of range")
+        # An expired batch flushes before this request joins the queue —
+        # submit-only callers keep the at-most-one-window latency bound
+        # without ever driving poll() themselves.
+        self.poll()
+        self.stats.requests += 1
+        ticket = Ticket(u)
+        if self.cache is not None:
+            hit = self.cache.get(u)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                ticket.cached = True
+                ticket._resolve(hit)
+                return ticket
+        if not self._pending:
+            self._deadline = self.clock.now() + self.window
+        self._pending.append(ticket)
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        return ticket
+
+    def poll(self) -> int:
+        """Flush if the batch window has closed; returns tickets resolved."""
+        if self._pending and (
+            self._deadline is not None and self.clock.now() >= self._deadline
+        ):
+            return self._flush()
+        return 0
+
+    def flush(self) -> int:
+        """Force the pending batch out now; returns tickets resolved."""
+        if not self._pending:
+            return 0
+        return self._flush()
+
+    def _flush(self) -> int:
+        tickets, self._pending = self._pending, []
+        self._deadline = None
+        unique = np.unique(
+            np.asarray([t.node for t in tickets], dtype=np.int64)
+        )
+        out, _ = self.backend.query_many(unique)
+        rows: dict[int, np.ndarray] = {}
+        for j, u in enumerate(unique.tolist()):
+            row = out[j].copy()
+            row.flags.writeable = False
+            rows[u] = row
+            if self.cache is not None:
+                self.cache.put(u, row)
+        for ticket in tickets:
+            ticket._resolve(rows[ticket.node])
+        self.stats.batches += 1
+        self.stats.batched_queries += int(unique.size)
+        return len(tickets)
+
+    # ------------------------------------------------------------------
+    def query(self, u: int) -> np.ndarray:
+        """Synchronous convenience: submit, drain the queue, return the PPV.
+
+        Note this flushes *all* pending requests (they share the batch),
+        so interleaving ``query`` with ``submit`` shortens open windows.
+        """
+        ticket = self.submit(u)
+        if not ticket.done:
+            self.flush()
+        return ticket.result
+
+    def query_topk(self, u: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` of the served PPV: ``(ids, scores)``, best first.
+
+        Served through the same cache/batch path as :meth:`query` — the
+        full row is what the cache stores, the reduction is per-request.
+        """
+        if k <= 0:
+            raise ServingError("k must be positive")
+        vec = self.query(u)
+        ids, scores = topk_rows(vec[np.newaxis], k)
+        return ids[0], scores[0]
+
+    def serve(self, nodes, arrivals=None) -> np.ndarray:
+        """Drive a whole request stream; returns the ``(len, n)`` results.
+
+        ``arrivals`` (seconds, non-decreasing) replays an arrival process
+        against a :class:`SimulatedClock`: the clock jumps to each
+        request's arrival time and expired windows flush on the way —
+        exactly the batches a live service with this window would form.
+        Without ``arrivals`` the queue is driven by ``max_batch`` alone
+        (and whatever real time elapses under a :class:`SystemClock`).
+        """
+        nodes = validate_batch(nodes, self.backend.num_nodes)
+        if arrivals is not None:
+            arrivals = np.asarray(arrivals, dtype=np.float64)
+            if arrivals.shape != nodes.shape:
+                raise ServingError("arrivals must match nodes in length")
+            if not hasattr(self.clock, "advance_to"):
+                raise ServingError(
+                    "replaying arrivals needs a SimulatedClock"
+                )
+        tickets = []
+        for i, u in enumerate(nodes.tolist()):
+            if arrivals is not None:
+                self.clock.advance_to(float(arrivals[i]))
+            self.poll()
+            tickets.append(self.submit(u))
+        self.flush()
+        if not tickets:
+            return np.zeros((0, self.backend.num_nodes))
+        return np.vstack([t.result for t in tickets])

@@ -11,6 +11,7 @@ import pytest
 
 from repro.approx import build_fastppv_index
 from repro.core import build_hgpa_index
+from repro.core.flat_index import run_in_batches
 from repro.distributed import DistributedGPA, DistributedHGPA
 from repro.errors import QueryError
 
@@ -70,6 +71,17 @@ class TestFlatBatch:
         assert out.shape == (0, jw_small.graph.num_nodes)
         assert stats == []
 
+    def test_run_in_batches_empty_keeps_width(self, jw_small):
+        """Regression: an empty batch must come back (0, n), not (0, 0) —
+        callers that vstack results or index columns get silent shape
+        mismatches otherwise."""
+        n = jw_small.graph.num_nodes
+        out, meta = run_in_batches(jw_small.query_many, np.empty(0, dtype=np.int64))
+        assert out.shape == (0, n)
+        assert meta == []
+        stacked = np.vstack([out, np.zeros((2, n))])  # concatenation works
+        assert stacked.shape == (2, n)
+
     def test_out_of_range(self, jw_small):
         with pytest.raises(QueryError):
             jw_small.query_many([0, 10_000])
@@ -118,6 +130,11 @@ class TestHGPABatch:
         with pytest.raises(QueryError):
             hgpa_small.query_many([3, 10_000])
 
+    def test_empty_batch(self, hgpa_small):
+        out, stats = hgpa_small.query_many(np.empty(0, dtype=np.int64))
+        assert out.shape == (0, hgpa_small.graph.num_nodes)
+        assert stats == []
+
 
 class TestFastPPVBatch:
     def test_query_many_matches_query(self, fast_small):
@@ -128,6 +145,11 @@ class TestFastPPVBatch:
             np.testing.assert_allclose(out[k], ref, atol=BATCH_ATOL, rtol=0)
             assert infos[k].expansions == info.expansions
             assert infos[k].residual_mass == pytest.approx(info.residual_mass)
+
+    def test_empty_batch(self, fast_small):
+        out, infos = fast_small.query_many(np.empty(0, dtype=np.int64))
+        assert out.shape == (0, fast_small.graph.num_nodes)
+        assert infos == []
 
     def test_budget_forwarded(self, fast_small):
         queries = np.asarray([0, 57])
@@ -177,6 +199,13 @@ class TestDistributedBatch:
         dep = request.getfixturevalue(runtime)
         with pytest.raises(QueryError):
             dep.query_many([0, 10_000])
+
+    @pytest.mark.parametrize("runtime", ["dist_gpa", "dist_hgpa"])
+    def test_empty_batch(self, request, runtime):
+        dep = request.getfixturevalue(runtime)
+        out, reports = dep.query_many(np.empty(0, dtype=np.int64))
+        assert out.shape == (0, dep.num_nodes)
+        assert reports == []
 
     def test_matches_centralized(self, dist_hgpa, hgpa_small, reference_ppv):
         queries = np.asarray([0, 42, 150])

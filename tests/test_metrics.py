@@ -60,6 +60,12 @@ class TestTopK:
         scores = np.array([0.5, 0.5, 0.9])
         assert top_k_nodes(scores, 3).tolist() == [2, 0, 1]
 
+    def test_boundary_ties_take_smallest_ids(self):
+        """Ties straddling the k boundary resolve to the smallest ids."""
+        scores = np.zeros(20)
+        scores[[7, 12]] = (0.9, 0.4)
+        assert top_k_nodes(scores, 5).tolist() == [7, 12, 0, 1, 2]
+
 
 class TestPrecision:
     def test_perfect(self):
@@ -79,6 +85,35 @@ class TestPrecision:
     def test_k_validation(self):
         with pytest.raises(ReproError):
             precision_at_k(np.zeros(3), np.zeros(3), 0)
+
+    def test_k_exceeding_size_identical(self):
+        """Regression: k > scores.size must grade against scores.size.
+
+        Two identical 3-node vectors agree perfectly at any k — the old
+        docstring promised ``/k``, which would have scored 3/100.
+        """
+        a = np.array([0.5, 0.3, 0.2])
+        assert precision_at_k(a, a, 100) == 1.0
+
+    def test_k_exceeding_size_partial(self):
+        # Both top-k sets are all 3 nodes, overlap 3, denominator 3.
+        a = np.array([0.5, 0.3, 0.2])
+        b = np.array([0.2, 0.5, 0.3])
+        assert precision_at_k(a, b, 100) == 1.0
+
+    def test_denominator_capped_at_k(self):
+        # k below the vector length: plain |overlap| / k.
+        a = np.array([1.0, 0.9, 0.1, 0.0])
+        b = np.array([1.0, 0.0, 0.9, 0.0])
+        assert precision_at_k(a, b, 2) == 0.5
+
+    def test_empty_vectors_vacuous(self):
+        assert precision_at_k(np.zeros(0), np.zeros(0), 5) == 1.0
+
+    def test_one_sided_empty_scores_zero(self):
+        # Only one side empty: zero overlap, not a vacuous perfect score.
+        assert precision_at_k(np.array([0.5, 0.3]), np.zeros(0), 5) == 0.0
+        assert precision_at_k(np.zeros(0), np.array([0.5, 0.3]), 5) == 0.0
 
 
 class TestRag:

@@ -123,6 +123,82 @@ class TestInsertEdge:
         new_index.hierarchy.validate()
         _assert_exact(new_index, [u, v, 7])
 
+    def test_promotion_scrubs_deeper_levels_and_leaf_vector(self, update_index):
+        """Regression for the promotion bookkeeping: the promoted node must
+        vanish from every deeper subgraph's node/hub lists and its old
+        ``("leaf", u)`` vector must be dropped, not left stale."""
+        h = update_index.hierarchy
+        root = h.root
+        hub_set = set(h.hub_nodes().tolist())
+        child_a = h.subgraphs[root.children[0]]
+        child_b = h.subgraphs[root.children[1]]
+        u = next(int(x) for x in child_a.nodes if int(x) not in hub_set)
+        v = next(int(x) for x in child_b.nodes if int(x) not in hub_set)
+        assert u in update_index.leaf_ppv  # non-hub: has a leaf vector
+        new_index, stats = insert_edge(update_index, u, v)
+        assert stats.promoted_hub == u
+        new_h = new_index.hierarchy
+        owners = [
+            sg for sg in new_h.subgraphs if u in set(sg.hubs.tolist())
+        ]
+        assert [sg.node_id for sg in owners] == [root.node_id]
+        for sg in new_h.subgraphs:
+            if sg.level > 0:
+                assert u not in set(sg.nodes.tolist()), sg.node_id
+                assert u not in set(sg.hubs.tolist()), sg.node_id
+        # Old leaf vector dropped, hub-side vectors rebuilt for the new role.
+        assert u not in new_index.leaf_ppv
+        assert ("leaf", u) not in new_index.build_cost
+        assert u in new_index.hub_partials and u in new_index.skeleton_cols
+        new_h.validate()
+        _assert_exact(new_index, [u, v])
+
+    def test_promotion_of_deeper_hub_drops_old_hub_vectors(self, update_index):
+        """A hub of a deeper level promoted to the root must lose its old
+        deep-level ``("hub", u)`` / ``("skel", u)`` vectors (they are
+        defined on the wrong subgraph) and get root-level replacements."""
+        h = update_index.hierarchy
+        root = h.root
+        root_hubs = set(root.hubs.tolist())
+        u = deep_sg = None
+        for sg in h.subgraphs:
+            if sg.level > 0 and sg.hubs.size:
+                deep = next(
+                    (int(x) for x in sg.hubs.tolist() if int(x) not in root_hubs),
+                    None,
+                )
+                if deep is not None:
+                    u, deep_sg = deep, sg
+                    break
+        assert u is not None, "fixture hierarchy has no deep hub"
+        child_of_u = next(
+            cid
+            for cid in root.children
+            if u in set(h.subgraphs[cid].nodes.tolist())
+        )
+        other = next(cid for cid in root.children if cid != child_of_u)
+        v = next(
+            int(x)
+            for x in h.subgraphs[other].nodes.tolist()
+            if int(x) not in root_hubs
+            and not update_index.graph.has_edge(u, int(x))
+        )
+        old_hub_vec = update_index.hub_partials[u]
+        old_skel_vec = update_index.skeleton_cols[u]
+        new_index, stats = insert_edge(update_index, u, v)
+        assert stats.promoted_hub == u
+        new_h = new_index.hierarchy
+        owners = [
+            sg.node_id for sg in new_h.subgraphs if u in set(sg.hubs.tolist())
+        ]
+        assert owners == [root.node_id]
+        assert u not in set(new_h.subgraphs[deep_sg.node_id].hubs.tolist())
+        # Replacements are computed on the root view, not carried over.
+        assert new_index.hub_partials[u] is not old_hub_vec
+        assert new_index.skeleton_cols[u] is not old_skel_vec
+        new_h.validate()
+        _assert_exact(new_index, [u, v])
+
     def test_duplicate_insert_noop(self, update_index):
         src, dst = update_index.graph.edge_arrays()
         u, v = int(src[0]), int(dst[0])
