@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from repro.bench import ExperimentTable, gpa_index
+from repro.bench import ExperimentTable, gpa_index, zipf_stream
 from repro.serving import PPVCache, PPVService, SimulatedClock
 
 SMOKE = os.environ.get("REPRO_SMOKE") == "1"
@@ -37,20 +37,6 @@ MAX_BATCH = 64 if SMOKE else 256
 ZIPF_EXP = 1.2
 ARRIVAL_SPACING = 1e-4  # 10k requests/second
 WINDOWS_MS = (0.0, 1.0, 5.0, 20.0)
-
-
-def zipf_stream(n: int, size: int, *, exponent: float = ZIPF_EXP, seed: int = 11):
-    """A query stream whose node popularity follows a Zipf law.
-
-    Rank-``r`` popularity ∝ ``r^-exponent``; ranks are mapped to node ids
-    by a seeded permutation so the hot set is not just the lowest ids.
-    """
-    rng = np.random.default_rng(seed)
-    ranks = np.arange(1, n + 1, dtype=np.float64)
-    p = ranks**-exponent
-    p /= p.sum()
-    perm = rng.permutation(n)
-    return perm[rng.choice(n, size=size, p=p)]
 
 
 def _serve_wall_seconds(index, stream, arrivals, window_s, cache=None) -> tuple:
@@ -75,7 +61,7 @@ def _serve_wall_seconds(index, stream, arrivals, window_s, cache=None) -> tuple:
 def test_serving_throughput_vs_window():
     index = gpa_index(DATASET, PARTS)
     n = index.graph.num_nodes
-    stream = zipf_stream(n, STREAM)
+    stream = zipf_stream(n, STREAM, exponent=ZIPF_EXP)
     arrivals = np.arange(stream.size) * ARRIVAL_SPACING
     index.query_many(stream[:8])  # build the stacked ops once, untimed
 
@@ -126,7 +112,7 @@ def test_serving_throughput_vs_window():
 def test_serving_cache_hit_rate():
     index = gpa_index(DATASET, PARTS)
     n = index.graph.num_nodes
-    stream = zipf_stream(n, STREAM)
+    stream = zipf_stream(n, STREAM, exponent=ZIPF_EXP)
     arrivals = np.arange(stream.size) * ARRIVAL_SPACING
     unique = np.unique(stream).size
     repeat_fraction = 1.0 - unique / stream.size

@@ -29,6 +29,7 @@ from repro import (
     metrics,
     partition,
     serving,
+    sharding,
 )
 from repro.errors import (
     ClusterError,
@@ -40,6 +41,7 @@ from repro.errors import (
     ReproError,
     SerializationError,
     ServingError,
+    ShardingError,
 )
 
 __version__ = "1.0.0"
@@ -54,6 +56,7 @@ __all__ = [
     "metrics",
     "datasets",
     "serving",
+    "sharding",
     "ReproError",
     "GraphError",
     "PartitionError",
@@ -63,5 +66,6 @@ __all__ = [
     "ClusterError",
     "SerializationError",
     "ServingError",
+    "ShardingError",
     "__version__",
 ]

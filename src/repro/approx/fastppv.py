@@ -173,17 +173,21 @@ class FastPPVIndex:
         u: int,
         k: int,
         *,
+        threshold: float | None = None,
         max_expansions: int | None = None,
         frontier_cutoff: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` of the approximate PPV of ``u``: ``(ids, scores)``.
 
         Best first, ties broken by smaller id; ``k`` larger than the
-        graph returns all ``n`` nodes.
+        graph returns all ``n`` nodes.  ``threshold`` drops entries with
+        ``score <= threshold`` before the k-cut (tail padded with id
+        ``-1`` / score ``0.0``).
         """
         ids, scores, _ = self.query_many_topk(
             np.asarray([u]),
             k,
+            threshold=threshold,
             max_expansions=max_expansions,
             frontier_cutoff=frontier_cutoff,
         )
@@ -195,6 +199,7 @@ class FastPPVIndex:
         k: int,
         *,
         batch: int = DEFAULT_BATCH,
+        threshold: float | None = None,
         max_expansions: int | None = None,
         frontier_cutoff: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray, list[FastPPVQueryInfo]]:
@@ -203,6 +208,8 @@ class FastPPVIndex:
         Each ``batch``-sized chunk is solved and expanded via
         :meth:`query_many`, then reduced to its per-row top-k before the
         next chunk runs, bounding dense intermediates at ``(batch, n)``.
+        ``threshold`` applies the score cut of
+        :func:`repro.core.flat_index.topk_rows` per row.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
@@ -216,6 +223,7 @@ class FastPPVIndex:
             k,
             n,
             batch,
+            threshold,
         )
 
     def _expand_frontier(

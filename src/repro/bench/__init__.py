@@ -9,6 +9,7 @@ from repro.bench.harness import (
     jw_index,
     results_dir,
     time_queries,
+    zipf_stream,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "fastppv_index",
     "bench_queries",
     "time_queries",
+    "zipf_stream",
 ]

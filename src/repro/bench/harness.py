@@ -35,6 +35,7 @@ __all__ = [
     "fastppv_index",
     "bench_queries",
     "time_queries",
+    "zipf_stream",
 ]
 
 
@@ -133,6 +134,24 @@ def fastppv_index(dataset: str, num_hubs: int, *, tol: float = 1e-4) -> FastPPVI
 def bench_queries(dataset: str, count: int = 20, *, seed: int = 9) -> np.ndarray:
     """The evaluation protocol's random query nodes for a dataset."""
     return datasets.query_nodes(datasets.load(dataset), count, seed=seed)
+
+
+def zipf_stream(
+    n: int, size: int, *, exponent: float = 1.2, seed: int = 11
+) -> np.ndarray:
+    """A query stream whose node popularity follows a Zipf law.
+
+    Rank-``r`` popularity ∝ ``r^-exponent``; ranks are mapped to node ids
+    by a seeded permutation so the hot set is not just the lowest ids.
+    The traffic shape of the serving benchmarks — a few hot users
+    dominating millions of requests.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = ranks**-exponent
+    p /= p.sum()
+    perm = rng.permutation(n)
+    return perm[rng.choice(n, size=size, p=p)]
 
 
 def time_queries(

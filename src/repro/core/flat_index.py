@@ -150,7 +150,9 @@ def run_in_batches(
     return np.vstack(outs), metas
 
 
-def topk_rows(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+def topk_rows(
+    dense: np.ndarray, k: int, *, threshold: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-row top-k of a ``(rows, n)`` matrix: ``(ids, scores)`` pairs.
 
     Each row is :func:`repro.metrics.top_k_nodes` — one selection
@@ -158,6 +160,12 @@ def topk_rows(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     the k boundary, so the result is deterministic even on vectors full
     of equal entries, e.g. pruned PPVs' exact zeros).  ``k`` is clamped
     to the row length.
+
+    ``threshold`` drops entries with ``score <= threshold`` before the
+    k-cut; the arrays keep their ``(rows, k)`` shape, with surviving
+    entries as a prefix and the tail padded with id ``-1`` / score
+    ``0.0``.  (Because scores are sorted descending, dropping the weak
+    entries first and cutting at ``k`` leaves exactly that prefix.)
     """
     rows, n = dense.shape
     k = min(k, n)
@@ -171,6 +179,10 @@ def topk_rows(dense: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     for r in range(rows):
         ids[r] = top_k_nodes(dense[r], k)
         scores[r] = dense[r][ids[r]]
+    if threshold is not None:
+        dropped = scores <= threshold
+        ids[dropped] = -1
+        scores[dropped] = 0.0
     return ids, scores
 
 
@@ -180,6 +192,7 @@ def topk_in_batches(
     k: int,
     num_nodes: int,
     batch: int = DEFAULT_BATCH,
+    threshold: float | None = None,
 ) -> tuple[np.ndarray, np.ndarray, list]:
     """Chunked top-k reduction over a ``query_many``-style callable.
 
@@ -188,7 +201,9 @@ def topk_in_batches(
     is never materialised — only the ``(len(nodes), k)`` ids/scores and
     one ``(batch, n)`` chunk live at once.  This is the shared engine
     behind every index family's ``query_many_topk`` and the serving
-    adapters for the distributed runtimes.
+    adapters for the distributed runtimes.  ``threshold`` applies the
+    :func:`topk_rows` score cut (``score <= threshold`` dropped, tail
+    padded with id ``-1`` / score ``0.0``).
     """
     if k <= 0:
         raise QueryError("k must be positive")
@@ -200,7 +215,7 @@ def topk_in_batches(
     for lo in range(0, nodes.size, step):
         sl = slice(lo, min(lo + step, nodes.size))
         dense, meta = query_many_fn(nodes[sl])
-        ids[sl], scores[sl] = topk_rows(dense, k_eff)
+        ids[sl], scores[sl] = topk_rows(dense, k_eff, threshold=threshold)
         metas.extend(meta)
     return ids, scores, metas
 
@@ -341,17 +356,28 @@ class FlatPPVIndex:
                 self._add_own_term(u, out[lo + k], stats[lo + k])
         return out, stats
 
-    def query_topk(self, u: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_topk(
+        self, u: int, k: int, *, threshold: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` of the exact PPV of ``u``: ``(ids, scores)``, best first.
 
         Ties break by smaller id (the :func:`repro.metrics.top_k_nodes`
         order); ``k`` larger than the graph returns all ``n`` nodes.
+        ``threshold`` drops entries with ``score <= threshold`` before the
+        k-cut (tail padded with id ``-1`` / score ``0.0``).
         """
-        ids, scores, _ = self.query_many_topk(np.asarray([u]), k)
+        ids, scores, _ = self.query_many_topk(
+            np.asarray([u]), k, threshold=threshold
+        )
         return ids[0], scores[0]
 
     def query_many_topk(
-        self, nodes, k: int, *, batch: int = DEFAULT_BATCH
+        self,
+        nodes,
+        k: int,
+        *,
+        batch: int = DEFAULT_BATCH,
+        threshold: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray, list[QueryStats]]:
         """Batched top-``k`` queries without materialising full PPVs.
 
@@ -359,12 +385,18 @@ class FlatPPVIndex:
         ``(len(nodes), min(k, n))`` arrays, row ``j`` holding the best-k
         entries of ``nodes[j]``'s PPV.  Dense intermediates are bounded at
         one ``(batch, n)`` chunk — the full ``(len(nodes), n)`` matrix of
-        :meth:`query_many` is never built.
+        :meth:`query_many` is never built.  ``threshold`` applies the
+        :func:`topk_rows` score cut per row.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
         return topk_in_batches(
-            lambda chunk: self.query_many(chunk, batch=None), nodes, k, n, batch
+            lambda chunk: self.query_many(chunk, batch=None),
+            nodes,
+            k,
+            n,
+            batch,
+            threshold,
         )
 
     def query_reference(self, u: int) -> tuple[np.ndarray, QueryStats]:

@@ -188,28 +188,40 @@ class HGPAIndex:
             stats[qpos].vectors_used += 1
         return out, stats
 
-    def query_topk(self, u: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_topk(
+        self, u: int, k: int, *, threshold: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` of the exact PPV of ``u``: ``(ids, scores)``, best first.
 
         Ties break by smaller id; ``k`` larger than the graph returns all
-        ``n`` nodes.
+        ``n`` nodes.  ``threshold`` drops entries with ``score <=
+        threshold`` before the k-cut (tail padded with id ``-1`` / score
+        ``0.0``).
         """
-        ids, scores, _ = self.query_many_topk(np.asarray([u]), k)
+        ids, scores, _ = self.query_many_topk(
+            np.asarray([u]), k, threshold=threshold
+        )
         return ids[0], scores[0]
 
     def query_many_topk(
-        self, nodes, k: int, *, batch: int = DEFAULT_BATCH
+        self,
+        nodes,
+        k: int,
+        *,
+        batch: int = DEFAULT_BATCH,
+        threshold: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray, list[QueryStats]]:
         """Batched top-``k`` queries without materialising full PPVs.
 
         Each ``batch``-sized chunk runs through :meth:`query_many` (one
         sparse matmul per level group) and is reduced to its per-row
         top-k before the next chunk is evaluated, bounding the dense
-        intermediates at one ``(batch, n)`` block.
+        intermediates at one ``(batch, n)`` block.  ``threshold`` applies
+        the :func:`repro.core.flat_index.topk_rows` score cut per row.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
-        return topk_in_batches(self.query_many, nodes, k, n, batch)
+        return topk_in_batches(self.query_many, nodes, k, n, batch, threshold)
 
     def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
         """PPV of ``u`` plus work counters (Eq. 6 evaluation).

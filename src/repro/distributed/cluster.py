@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.flat_index import stack_columns
 from repro.core.sparsevec import SparseVec
 from repro.distributed.coordinator import Coordinator
 from repro.distributed.machine import Machine
@@ -81,6 +82,42 @@ class ClusterBase:
 
     def offline_total_seconds(self) -> float:
         return sum(m.offline_seconds for m in self.machines)
+
+    # ----- stacked query ops --------------------------------------------
+    def _stack_ops(self, owned: np.ndarray) -> tuple:
+        """Stacked (owned, partial CSC, skeleton CSR, nnz-per-hub) ops.
+
+        The shared body of both runtimes' lazy ``_ops_for`` builders;
+        relies on the subclass carrying its index (with ``hub_partials``
+        / ``skeleton_cols`` stores) as ``self.index``.
+        """
+        index = self.index
+        part_csc = stack_columns(
+            [index.hub_partials[h] for h in owned.tolist()], self.num_nodes
+        )
+        skel_csr = stack_columns(
+            [index.skeleton_cols[h] for h in owned.tolist()], self.num_nodes
+        ).tocsr()
+        return (owned, part_csc, skel_csr, np.diff(part_csc.indptr))
+
+    # ----- ownership ----------------------------------------------------
+    def _owners_to_map(self, *owner_dicts: dict[int, int]) -> np.ndarray:
+        """Merge node→machine dicts into one ``(n,)`` owner array.
+
+        Unowned nodes are ``-1``; later dicts win on (impossible, but
+        defensive) overlap.  This is the runtimes' ``owner_map()``
+        product — the partition-affinity seam the sharded serving layer
+        routes by.
+        """
+        owners = np.full(self.num_nodes, -1, dtype=np.int64)
+        for owner_dict in owner_dicts:
+            if owner_dict:
+                keys = np.fromiter(owner_dict, dtype=np.int64, count=len(owner_dict))
+                vals = np.fromiter(
+                    owner_dict.values(), dtype=np.int64, count=len(owner_dict)
+                )
+                owners[keys] = vals
+        return owners
 
     # ----- query-side helper -------------------------------------------
     def _finish_query(

@@ -8,10 +8,13 @@ machine owning the query node's partial vector adds it (Eq. 5's
 ``v_u`` machine), every machine folds in its own hubs' contributions, and
 each sends exactly one vector to the coordinator.
 
-``_deploy`` also pre-computes, per machine, the sorted list of owned hubs
-and their vectors stacked as one CSC (partials) / CSR (skeletons) pair, so
-a machine's share of a query is one skeleton-row slice plus one
-``CSC @ weights`` product — no per-hub ownership probing on the query path.
+``_deploy`` pre-computes, per machine, the sorted list of owned hubs; their
+vectors stacked as one CSC (partials) / CSR (skeletons) pair are derived
+*lazily* on a machine's first query (then cached), so a machine's share of
+a query is one skeleton-row slice plus one ``CSC @ weights`` product — no
+per-hub ownership probing on the query path — while deployments that are
+never queried (space/offline measurements) keep only the store and never
+pay the ~2x resident memory of the stacked copies.
 """
 
 from __future__ import annotations
@@ -25,7 +28,6 @@ from repro.core.flat_index import (
     find_sorted,
     hub_weights,
     run_in_batches,
-    stack_columns,
     validate_batch,
 )
 from repro.core.gpa import GPAIndex
@@ -51,6 +53,7 @@ class DistributedGPA(ClusterBase):
         self.init_cluster(num_machines)
         self._hub_owner: dict[int, int] = {}
         self._node_owner: dict[int, int] = {}
+        self._machine_owned: dict[int, np.ndarray] = {}
         self._machine_ops: dict[int, tuple] = {}
         self._deploy()
 
@@ -73,22 +76,7 @@ class DistributedGPA(ClusterBase):
                     build_seconds=index.build_cost.get(("skel", h), 0.0),
                 )
                 self._hub_owner[h] = machine.machine_id
-            # Note: the stacked matrices copy the owned vectors' arrays, so
-            # a deployment's resident memory is ~2x the store (the space
-            # *metric* counts the store only) — the price of matmul-form
-            # queries; see the ROADMAP item on zero-copy stacked stores.
-            part_csc = stack_columns(
-                [index.hub_partials[h] for h in owned.tolist()], self.num_nodes
-            )
-            skel_csr = stack_columns(
-                [index.skeleton_cols[h] for h in owned.tolist()], self.num_nodes
-            ).tocsr()
-            self._machine_ops[machine.machine_id] = (
-                owned,
-                part_csc,
-                skel_csr,
-                np.diff(part_csc.indptr),
-            )
+            self._machine_owned[machine.machine_id] = owned
         if index.partition is not None:
             part_lists = index.partition.part_nodes
         else:  # pragma: no cover - GPA always carries its partition
@@ -102,6 +90,31 @@ class DistributedGPA(ClusterBase):
                     build_seconds=index.build_cost.get(("part", u), 0.0),
                 )
                 self._node_owner[u] = machine.machine_id
+
+    def _ops_for(self, mid: int) -> tuple:
+        """The machine's stacked (owned, CSC, CSR, nnz-per-hub) query ops.
+
+        Built on first use and cached: the stacked matrices copy the
+        owned vectors' arrays, so a *queried* machine's resident memory
+        is ~2x its store (the space metric counts the store only) — the
+        price of matmul-form queries.  Deployments that never query
+        never pay it.
+        """
+        ops = self._machine_ops.get(mid)
+        if ops is None:
+            ops = self._stack_ops(self._machine_owned[mid])
+            self._machine_ops[mid] = ops
+        return ops
+
+    def owner_map(self) -> np.ndarray:
+        """Machine owning each node's own vector: ``(n,)`` array, ``-1``
+        where no machine holds one (never happens after a full deploy).
+
+        Hubs map to their hub-vector owner, everything else to its
+        node-partial owner — the affinity map a sharded serving layer
+        routes by (see :mod:`repro.sharding`).
+        """
+        return self._owners_to_map(self._node_owner, self._hub_owner)
 
     # ------------------------------------------------------------------
     def _add_own_vector(self, machine, u: int, u_is_hub: bool, acc) -> None:
@@ -124,8 +137,10 @@ class DistributedGPA(ClusterBase):
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
+            # Materialise outside the timed region: the one-time stacked
+            # build must not be charged to this query's runtime metric.
+            owned, part_csc, skel_csr, nnz_per_hub = self._ops_for(mid)
             t0 = time.perf_counter()
-            owned, part_csc, skel_csr, nnz_per_hub = self._machine_ops[mid]
             if owned.size:
                 weights = hub_weights(skel_csr, owned, u, index.alpha)
                 acc = part_csc @ (weights / index.alpha)
@@ -162,8 +177,8 @@ class DistributedGPA(ClusterBase):
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
+            owned, part_csc, skel_csr, nnz_per_hub = self._ops_for(mid)
             t0 = time.perf_counter()
-            owned, part_csc, skel_csr, nnz_per_hub = self._machine_ops[mid]
             if owned.size:
                 weights = skel_csr[nodes].toarray()
                 rows, pos = find_sorted(owned, nodes)

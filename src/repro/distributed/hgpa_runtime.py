@@ -10,9 +10,12 @@ vector from each machine to the coordinator (Theorem 4: ``O(n·|V|)``
 communication).
 
 ``_deploy`` pre-computes, per (machine, subgraph) pair, the machine's owned
-hubs of that level and their vectors stacked as one CSC/CSR pair, so a
-machine's share of a level is a skeleton-row slice plus one
-``CSC @ weights`` product — no ownership rescanning per query.
+hubs of that level; their vectors stacked as one CSC/CSR pair are derived
+*lazily* on first query of that pair (then cached), so a machine's share of
+a level is a skeleton-row slice plus one ``CSC @ weights`` product — no
+ownership rescanning per query — and deployments that are never queried
+(space/offline measurements) never pay the ~2x resident memory of the
+stacked copies.
 
 The port repair of the centralized query (see
 :meth:`repro.core.hgpa.HGPAIndex.query_detailed`) distributes cleanly:
@@ -32,7 +35,6 @@ from repro.core.flat_index import (
     csr_row_dense,
     find_sorted,
     run_in_batches,
-    stack_columns,
     validate_batch,
 )
 from repro.core.hgpa import HGPAIndex, _chain_membership
@@ -58,6 +60,7 @@ class DistributedHGPA(ClusterBase):
         self.init_cluster(num_machines)
         self._hub_owner: dict[int, int] = {}
         self._leaf_owner: dict[int, int] = {}
+        self._level_owned: dict[tuple[int, int], np.ndarray] = {}
         self._level_ops: dict[tuple[int, int], tuple] = {}
         self._deploy()
 
@@ -84,20 +87,7 @@ class DistributedHGPA(ClusterBase):
                         build_seconds=index.build_cost.get(("skel", h), 0.0),
                     )
                     self._hub_owner[h] = mid
-                part_csc = stack_columns(
-                    [index.hub_partials[h] for h in owned.tolist()],
-                    self.num_nodes,
-                )
-                skel_csr = stack_columns(
-                    [index.skeleton_cols[h] for h in owned.tolist()],
-                    self.num_nodes,
-                ).tocsr()
-                self._level_ops[(mid, sg.node_id)] = (
-                    owned,
-                    part_csc,
-                    skel_csr,
-                    np.diff(part_csc.indptr),
-                )
+                self._level_owned[(mid, sg.node_id)] = owned
         for i, u in enumerate(sorted(index.leaf_ppv)):
             machine = self.machines[i % n]
             machine.put(
@@ -106,6 +96,29 @@ class DistributedHGPA(ClusterBase):
                 build_seconds=index.build_cost.get(("leaf", u), 0.0),
             )
             self._leaf_owner[u] = machine.machine_id
+
+    def _ops_for(self, mid: int, sid: int) -> tuple | None:
+        """Stacked query ops of one (machine, level) pair, or ``None``
+        when the machine owns no hub of that level.
+
+        Built on first use and cached — the lazy counterpart of
+        :meth:`DistributedGPA._ops_for`, one cache entry per pair so a
+        query only materialises the levels its chain traverses.
+        """
+        key = (mid, sid)
+        owned = self._level_owned.get(key)
+        if owned is None:
+            return None
+        ops = self._level_ops.get(key)
+        if ops is None:
+            ops = self._stack_ops(owned)
+            self._level_ops[key] = ops
+        return ops
+
+    def owner_map(self) -> np.ndarray:
+        """Machine owning each node's own vector (hub or leaf): ``(n,)``
+        array — the affinity map a sharded serving layer routes by."""
+        return self._owners_to_map(self._leaf_owner, self._hub_owner)
 
     # ------------------------------------------------------------------
     def query(self, u: int) -> tuple[np.ndarray, QueryReport]:
@@ -121,10 +134,13 @@ class DistributedHGPA(ClusterBase):
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
+            # Materialise the chain's levels outside the timed region: the
+            # one-time stacked builds must not be charged to this query.
+            level_ops = {sg.node_id: self._ops_for(mid, sg.node_id) for sg in chain}
             t0 = time.perf_counter()
             acc = np.zeros(self.num_nodes)
             for sg in chain:
-                ops = self._level_ops.get((mid, sg.node_id))
+                ops = level_ops[sg.node_id]
                 if ops is None:
                     continue
                 owned, part_csc, skel_csr, nnz_per_hub = ops
@@ -184,10 +200,11 @@ class DistributedHGPA(ClusterBase):
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
+            level_ops = {sid: self._ops_for(mid, sid) for sid in members}
             t0 = time.perf_counter()
             acc = np.zeros((self.num_nodes, nodes.size))  # ordered columns
             for sid, (lo, hi, own_list) in members.items():
-                ops = self._level_ops.get((mid, sid))
+                ops = level_ops[sid]
                 if ops is None:
                     continue
                 owned, part_csc, skel_csr, nnz_per_hub = ops

@@ -43,3 +43,8 @@ class SerializationError(ReproError):
 
 class ServingError(ReproError):
     """Raised for invalid serving-layer configurations or requests."""
+
+
+class ShardingError(ServingError):
+    """Raised for invalid shard-router configurations or unroutable
+    requests (e.g. every replica of a shard marked down)."""

@@ -43,14 +43,19 @@ class QueryBackend:
         return self.engine.query_many(nodes)
 
     def query_many_topk(
-        self, nodes, k: int, *, batch: int = DEFAULT_BATCH
+        self,
+        nodes,
+        k: int,
+        *,
+        batch: int = DEFAULT_BATCH,
+        threshold: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray, list]:
         native = getattr(self.engine, "query_many_topk", None)
         if native is not None:
-            return native(nodes, k, batch=batch)
+            return native(nodes, k, batch=batch, threshold=threshold)
         nodes = validate_batch(nodes, self.num_nodes)
         return topk_in_batches(
-            self.engine.query_many, nodes, k, self.num_nodes, batch
+            self.engine.query_many, nodes, k, self.num_nodes, batch, threshold
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

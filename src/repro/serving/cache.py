@@ -15,6 +15,7 @@ writeable flag guarantees no caller can corrupt the shared entry.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -22,7 +23,10 @@ import numpy as np
 
 from repro.errors import ServingError
 
-__all__ = ["CacheStats", "PPVCache"]
+__all__ = ["CacheStats", "PPVCache", "DEFAULT_EVICTION_SAMPLE"]
+
+DEFAULT_EVICTION_SAMPLE = 8
+"""LRU-end candidates examined per cost-aware eviction (Redis-style)."""
 
 
 @dataclass
@@ -53,15 +57,36 @@ class PPVCache:
     least-recently-used entries until the budget holds.  A vector larger
     than the whole budget is rejected outright instead of evicting
     everything for an entry that cannot help future queries.
+
+    ``weight`` turns eviction cost-aware: a ``weight(u, vec) -> float``
+    callable scores each entry at insert time (e.g. by its backend
+    rebuild cost — what a sharded deployment loses when the row must be
+    recomputed), and eviction removes the *cheapest* of the ``sample``
+    least-recently-used entries instead of blindly the oldest.  Without
+    ``weight`` the cache is exactly the original pure-LRU byte-budgeted
+    store.
     """
 
-    def __init__(self, max_bytes: int):
+    def __init__(
+        self,
+        max_bytes: int,
+        *,
+        weight=None,
+        sample: int = DEFAULT_EVICTION_SAMPLE,
+    ):
         if max_bytes <= 0:
             raise ServingError(f"cache budget must be positive, got {max_bytes}")
+        if weight is not None and not callable(weight):
+            raise ServingError("weight must be a callable (u, vec) -> float")
+        if sample < 1:
+            raise ServingError(f"eviction sample must be >= 1, got {sample}")
         self.max_bytes = int(max_bytes)
         self.current_bytes = 0
+        self.weight = weight
+        self.sample = int(sample)
         self.stats = CacheStats()
         self._store: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._weights: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -98,19 +123,53 @@ class PPVCache:
             arr.flags.writeable = False
         if arr.nbytes > self.max_bytes:
             return False
+        if self.weight is not None:
+            w = float(self.weight(u, arr))
+            if not math.isfinite(w):
+                raise ServingError(
+                    f"weight({u}, ...) returned non-finite {w!r}"
+                )
         old = self._store.pop(u, None)
         if old is not None:
             self.current_bytes -= old.nbytes
         self._store[u] = arr
+        if self.weight is not None:
+            self._weights[u] = w
         self.current_bytes += arr.nbytes
         self.stats.inserts += 1
         while self.current_bytes > self.max_bytes:
-            _, evicted = self._store.popitem(last=False)
+            evicted = self._evict_one()
             self.current_bytes -= evicted.nbytes
             self.stats.evictions += 1
         return True
 
+    def _evict_one(self) -> np.ndarray:
+        """Remove and return one entry under the configured policy.
+
+        Pure LRU without a ``weight`` hook; with one, the lightest of the
+        ``sample`` least-recently-used entries goes (ties keep eviction
+        order deterministic: the least recent of the tied candidates).
+        The most-recent entry is never a candidate — it is the row being
+        inserted right now, and evicting it would make ``put`` a lie —
+        matching the structural protection of the pure-LRU path.
+        """
+        if self.weight is None:
+            _, evicted = self._store.popitem(last=False)
+            return evicted
+        victim = None
+        victim_w = math.inf
+        candidates = min(self.sample, len(self._store) - 1)
+        for i, u in enumerate(self._store):
+            if i >= candidates:
+                break
+            w = self._weights[u]
+            if w < victim_w:
+                victim, victim_w = u, w
+        self._weights.pop(victim, None)
+        return self._store.pop(victim)
+
     def clear(self) -> None:
         """Drop every entry (stats are kept — they describe the workload)."""
         self._store.clear()
+        self._weights.clear()
         self.current_bytes = 0

@@ -235,16 +235,20 @@ class PPVService:
             self.flush()
         return ticket.result
 
-    def query_topk(self, u: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def query_topk(
+        self, u: int, k: int, *, threshold: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` of the served PPV: ``(ids, scores)``, best first.
 
         Served through the same cache/batch path as :meth:`query` — the
         full row is what the cache stores, the reduction is per-request.
+        ``threshold`` drops entries with ``score <= threshold`` before
+        the k-cut (tail padded with id ``-1`` / score ``0.0``).
         """
         if k <= 0:
             raise ServingError("k must be positive")
         vec = self.query(u)
-        ids, scores = topk_rows(vec[np.newaxis], k)
+        ids, scores = topk_rows(vec[np.newaxis], k, threshold=threshold)
         return ids[0], scores[0]
 
     def serve(self, nodes, arrivals=None) -> np.ndarray:

@@ -1,0 +1,39 @@
+"""Sharded query routing: fan ``PPVService`` batches out to replicas.
+
+The paper's query protocol is one fan-out/merge round; this package is
+that round at the serving tier.  A :class:`ShardRouter` — itself a
+:class:`~repro.serving.adapters.QueryBackend`, so it drops behind
+:class:`~repro.serving.service.PPVService` unchanged — owns a set of
+:class:`Shard` replica groups, routes each query of a batch by a
+pluggable :class:`~repro.sharding.routing.RoutingPolicy` (partition-owner
+affinity, round-robin, least-loaded), merges per-shard answers back into
+batch order, and meters every router↔shard byte.  Per-shard
+:class:`~repro.serving.cache.PPVCache` instances, deterministic replica
+failover (mark down / reroute / timed recovery under a
+:class:`~repro.serving.service.SimulatedClock`) and a :class:`ShardStats`
+report round out the subsystem.
+"""
+
+from repro.sharding.replica import Replica
+from repro.sharding.router import ShardRouter, ShardStats
+from repro.sharding.routing import (
+    LeastLoadedPolicy,
+    OwnerAffinityPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    owner_map_from_partition,
+)
+from repro.sharding.shard import RouteInfo, Shard
+
+__all__ = [
+    "Replica",
+    "Shard",
+    "RouteInfo",
+    "ShardRouter",
+    "ShardStats",
+    "RoutingPolicy",
+    "OwnerAffinityPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "owner_map_from_partition",
+]

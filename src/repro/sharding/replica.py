@@ -1,0 +1,74 @@
+"""One replica of a shard: a query backend plus health and load state.
+
+A replica wraps any servable engine (an index family, a distributed
+runtime, or an existing :class:`~repro.serving.adapters.QueryBackend`)
+behind the uniform backend interface and adds what a router needs to
+balance and fail over: cumulative load counters and a health flag with
+optional *timed* recovery.  Health transitions are explicit (``mark_down``
+/ ``mark_up``) or clock-driven (``mark_down(until=t)``), never inferred
+from exceptions, so failure scenarios replay deterministically under a
+:class:`~repro.serving.service.SimulatedClock`.
+
+In the simulation several replicas may share one underlying engine object
+(replicating a read-only index costs nothing in-process); in a real
+deployment each replica would be a separate process holding its own copy
+of the partition's precomputed vectors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.serving.adapters import as_backend
+
+__all__ = ["Replica"]
+
+
+class Replica:
+    """A health-tracked query backend inside a shard's replica group."""
+
+    def __init__(self, engine, replica_id: int):
+        self.backend = as_backend(engine)
+        self.replica_id = int(replica_id)
+        self.served_queries = 0
+        self.served_batches = 0
+        self.busy_seconds = 0.0
+        self._down = False
+        self._down_until: float | None = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.backend.num_nodes
+
+    # ----- health -------------------------------------------------------
+    def mark_down(self, *, until: float | None = None) -> None:
+        """Take the replica out of rotation, optionally only until
+        clock time ``until`` (timed recovery)."""
+        self._down = True
+        self._down_until = None if until is None else float(until)
+
+    def mark_up(self) -> None:
+        self._down = False
+        self._down_until = None
+
+    def is_up(self, now: float) -> bool:
+        """Health at clock time ``now``; a timed outage auto-recovers."""
+        if self._down and self._down_until is not None and now >= self._down_until:
+            self.mark_up()
+        return not self._down
+
+    # ----- serving ------------------------------------------------------
+    def query_many(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
+        """Serve one batch, accounting load to this replica."""
+        t0 = time.perf_counter()
+        out, meta = self.backend.query_many(nodes)
+        self.busy_seconds += time.perf_counter() - t0
+        self.served_queries += int(np.asarray(nodes).size)
+        self.served_batches += 1
+        return out, meta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "down" if self._down else "up"
+        return f"<Replica {self.replica_id} ({state}) over {self.backend!r}>"

@@ -1,0 +1,247 @@
+"""The shard router: a ``QueryBackend`` that fans batches across shards.
+
+This is the paper's one-round fan-out/merge protocol lifted to the
+serving tier: where the distributed runtimes broadcast one node id and
+sum one sparse vector per machine (Sections 3.1/4.4, Theorem 4), the
+:class:`ShardRouter` splits a ``query_many`` batch across per-partition
+shards — each a replica group able to answer its share outright — and
+scatters the per-shard answers back into batch order.  Because the
+router *is* a :class:`~repro.serving.adapters.QueryBackend`, it drops
+behind :class:`~repro.serving.service.PPVService` unchanged: micro-batch
+window in front, partition fan-out behind, per-shard caches in between.
+
+Construction composes the repo's layers::
+
+    part   = flat_partition(graph, 8)                  # partition/
+    index  = build_gpa_index(graph, 8, partition=part)  # core/
+    owner  = owner_map_from_partition(part, num_shards=4)
+    router = ShardRouter([[index, index]] * 4, policy="owner",
+                         owner_map=owner, cache_bytes=32 << 20)
+    service = PPVService(router, window=0.005)          # serving/
+
+A distributed runtime plugs in the same way — its ``owner_map()`` is the
+affinity map and the runtime itself (or one deployment per shard) the
+replica engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flat_index import DEFAULT_BATCH, validate_batch
+from repro.distributed.network import NetworkMeter
+from repro.errors import QueryError, ShardingError
+from repro.serving.adapters import QueryBackend
+from repro.serving.cache import CacheStats, PPVCache
+from repro.serving.service import SystemClock
+from repro.sharding.routing import resolve_policy
+from repro.sharding.shard import RouteInfo, Shard
+
+__all__ = ["ShardStats", "ShardRouter"]
+
+
+@dataclass
+class ShardStats:
+    """Traffic report of one :class:`ShardRouter`, per shard.
+
+    ``bytes_by_shard`` counts both legs of each router↔shard link;
+    ``busy_seconds_by_shard`` sums replica compute per shard, so
+    ``makespan_seconds`` (the slowest shard) is the simulated parallel
+    wall time of the whole run — shards ship nothing to each other, so
+    like the paper's runtime metric the fleet is as fast as its slowest
+    member.
+    """
+
+    policy: str
+    queries_by_shard: list[int]
+    batches_by_shard: list[int]
+    bytes_by_shard: list[int]
+    busy_seconds_by_shard: list[float]
+    cache: CacheStats | None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.queries_by_shard)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.queries_by_shard)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_shard)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of per-shard queries (1.0 = perfectly balanced)."""
+        mean = self.total_queries / max(1, self.num_shards)
+        return (max(self.queries_by_shard) / mean) if mean > 0 else 1.0
+
+    @property
+    def makespan_seconds(self) -> float:
+        return max(self.busy_seconds_by_shard, default=0.0)
+
+    @property
+    def busy_total_seconds(self) -> float:
+        return sum(self.busy_seconds_by_shard)
+
+
+class ShardRouter(QueryBackend):
+    """Fan ``query_many`` batches out to per-partition replica shards.
+
+    ``shard_engines`` is one replica group per shard — a list of servable
+    engines (or ready :class:`~repro.serving.adapters.QueryBackend` /
+    :class:`~repro.sharding.replica.Replica` objects) per entry; a bare
+    engine is a single-replica shard.  ``policy`` is ``"owner"`` (needs
+    ``owner_map``), ``"round_robin"``, ``"least_loaded"`` or any
+    :class:`~repro.sharding.routing.RoutingPolicy` instance.
+
+    ``cache_bytes`` gives every shard its own
+    :class:`~repro.serving.cache.PPVCache` (``cache_weight`` forwards
+    the cost-aware eviction hook); per-shard traffic is metered through
+    one shared :class:`~repro.distributed.network.NetworkMeter`.
+    Answers are exact — byte-identical routing policies aside, every
+    query is answered by a full replica of its shard, so the router
+    matches an unsharded backend to 1e-12.
+    """
+
+    def __init__(
+        self,
+        shard_engines: list,
+        *,
+        policy="round_robin",
+        owner_map: np.ndarray | None = None,
+        cache_bytes: int | None = None,
+        cache_weight=None,
+        clock=None,
+    ):
+        if not shard_engines:
+            raise ShardingError("need at least one shard")
+        self.clock = clock if clock is not None else SystemClock()
+        self.meter = NetworkMeter()
+        self.shards: list[Shard] = []
+        for sid, group in enumerate(shard_engines):
+            if not isinstance(group, (list, tuple)):
+                group = [group]
+            cache = (
+                PPVCache(cache_bytes, weight=cache_weight)
+                if cache_bytes is not None
+                else None
+            )
+            self.shards.append(
+                Shard(
+                    sid,
+                    list(group),
+                    cache=cache,
+                    meter=self.meter,
+                    clock=self.clock,
+                )
+            )
+        sizes = {shard.num_nodes for shard in self.shards}
+        if len(sizes) != 1:
+            raise ShardingError(
+                f"shards disagree on num_nodes: {sorted(sizes)}"
+            )
+        super().__init__(engine=None, num_nodes=sizes.pop())
+        self.policy = resolve_policy(policy, owner_map)
+        self.batches = 0
+
+    # ----- failover convenience ----------------------------------------
+    def mark_down(
+        self, shard: int, replica: int, *, for_seconds: float | None = None
+    ) -> None:
+        """Take one replica of one shard out of rotation."""
+        self.shards[shard].mark_down(replica, for_seconds=for_seconds)
+
+    def mark_up(self, shard: int, replica: int) -> None:
+        self.shards[shard].mark_up(replica)
+
+    # ----- QueryBackend interface --------------------------------------
+    def query_many(self, nodes) -> tuple[np.ndarray, list[RouteInfo]]:
+        """Route, fan out, merge: dense ``(len(nodes), n)`` rows in batch
+        order plus one :class:`~repro.sharding.shard.RouteInfo` each."""
+        nodes = validate_batch(nodes, self.num_nodes)
+        out = np.empty((nodes.size, self.num_nodes))
+        infos: list[RouteInfo | None] = [None] * nodes.size
+        if nodes.size == 0:
+            return out, []
+        assigned = self.policy.assign(nodes, self)
+        self.batches += 1
+        for sid in np.unique(assigned).tolist():
+            rows = np.nonzero(assigned == sid)[0]
+            dense, shard_infos = self.shards[sid].query_many(nodes[rows])
+            out[rows] = dense
+            for r, info in zip(rows.tolist(), shard_infos):
+                infos[r] = info
+        return out, infos
+
+    def query_many_topk(
+        self,
+        nodes,
+        k: int,
+        *,
+        batch: int = DEFAULT_BATCH,
+        threshold: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[RouteInfo]]:
+        """Routed top-k: the k-cut (and ``threshold`` score cut) runs
+        shard-side, so only ``(rows, k)`` ids/scores cross each link."""
+        if k <= 0:
+            raise QueryError("k must be positive")
+        nodes = validate_batch(nodes, self.num_nodes)
+        k_eff = min(k, self.num_nodes)
+        ids = np.empty((nodes.size, k_eff), dtype=np.int64)
+        scores = np.empty((nodes.size, k_eff))
+        infos: list[RouteInfo | None] = [None] * nodes.size
+        if nodes.size == 0:
+            return ids, scores, []
+        assigned = self.policy.assign(nodes, self)
+        self.batches += 1
+        for sid in np.unique(assigned).tolist():
+            rows = np.nonzero(assigned == sid)[0]
+            s_ids, s_scores, shard_infos = self.shards[sid].query_many_topk(
+                nodes[rows], k, batch=batch, threshold=threshold
+            )
+            ids[rows] = s_ids
+            scores[rows] = s_scores
+            for r, info in zip(rows.tolist(), shard_infos):
+                infos[r] = info
+        return ids, scores, infos
+
+    # ----- reporting ----------------------------------------------------
+    def stats(self) -> ShardStats:
+        """Per-shard traffic, compute makespan and aggregated cache stats."""
+        bytes_by_shard = []
+        for shard in self.shards:
+            name = f"shard-{shard.shard_id}"
+            bytes_by_shard.append(
+                self.meter.by_link.get(("router", name), 0)
+                + self.meter.by_link.get((name, "router"), 0)
+            )
+        cache = None
+        if any(shard.cache is not None for shard in self.shards):
+            cache = CacheStats()
+            for shard in self.shards:
+                if shard.cache is not None:
+                    cache.hits += shard.cache.stats.hits
+                    cache.misses += shard.cache.stats.misses
+                    cache.evictions += shard.cache.stats.evictions
+                    cache.inserts += shard.cache.stats.inserts
+        return ShardStats(
+            policy=self.policy.name,
+            queries_by_shard=[shard.queries for shard in self.shards],
+            batches_by_shard=[shard.batches for shard in self.shards],
+            bytes_by_shard=bytes_by_shard,
+            busy_seconds_by_shard=[
+                sum(r.busy_seconds for r in shard.replicas)
+                for shard in self.shards
+            ],
+            cache=cache,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardRouter: {len(self.shards)} shard(s), "
+            f"policy {self.policy.name!r}>"
+        )

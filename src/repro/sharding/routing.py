@@ -1,0 +1,162 @@
+"""Routing policies: which shard answers which query of a batch.
+
+A policy maps a validated batch of query node ids to shard indices.  All
+three are deterministic (the failover tests replay byte-identical
+traffic):
+
+* :class:`OwnerAffinityPolicy` — a query goes to the shard owning its
+  node's partition (from a :func:`~repro.partition.flat.flat_partition`
+  assignment or a distributed runtime's ``owner_map()``); unowned nodes
+  (hubs, which separate the parts and belong to none) fall back to a
+  multiplicative hash.  Affinity keeps each node's repeats on one shard,
+  so the per-shard caches see the full repeat fraction instead of
+  ``1/num_shards`` of it.
+* :class:`RoundRobinPolicy` — queries cycle through shards in arrival
+  order, ignoring ownership: perfect load spread, zero cache affinity.
+* :class:`LeastLoadedPolicy` — each query greedily picks the shard with
+  the fewest served-plus-assigned queries (ties to the lowest shard id),
+  balancing even under skewed streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShardingError
+from repro.partition.flat import FlatPartition
+
+__all__ = [
+    "RoutingPolicy",
+    "OwnerAffinityPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "resolve_policy",
+    "owner_map_from_partition",
+]
+
+_KNUTH_HASH = 2654435761  # multiplicative hash for ownerless node ids
+
+
+class RoutingPolicy:
+    """Maps each query of a batch to a shard index."""
+
+    name = "base"
+
+    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+        """Shard index per query; ``router`` exposes shards and loads."""
+        raise NotImplementedError
+
+
+class OwnerAffinityPolicy(RoutingPolicy):
+    """Partition-owner affinity with a hash fallback for unowned nodes.
+
+    ``owner_map[u]`` is the partition/machine owning node ``u`` (``-1``
+    for none); owners are folded onto shards modulo the shard count, so
+    one shard may serve several partitions when there are fewer shards
+    than parts.
+    """
+
+    name = "owner"
+
+    def __init__(self, owner_map: np.ndarray):
+        owner_map = np.asarray(owner_map, dtype=np.int64)
+        if owner_map.ndim != 1:
+            raise ShardingError("owner_map must be a 1-D node->owner array")
+        self.owner_map = owner_map
+
+    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+        num_shards = len(router.shards)
+        if self.owner_map.size != router.num_nodes:
+            raise ShardingError(
+                f"owner_map covers {self.owner_map.size} nodes, "
+                f"router serves {router.num_nodes}"
+            )
+        owners = self.owner_map[nodes]
+        shards = owners % num_shards
+        orphans = owners < 0
+        if np.any(orphans):
+            hashed = (nodes[orphans].astype(np.uint64) * _KNUTH_HASH) % (1 << 32)
+            shards[orphans] = (hashed % num_shards).astype(np.int64)
+        return shards
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through shards in arrival order (stateful across batches)."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+        num_shards = len(router.shards)
+        shards = (self._next + np.arange(nodes.size, dtype=np.int64)) % num_shards
+        self._next = int((self._next + nodes.size) % num_shards)
+        return shards
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Greedy least-outstanding-load assignment across replicas' shards.
+
+    Load is the shard's cumulative served queries plus what this batch
+    has already assigned to it — the synchronous stand-in for in-flight
+    requests.  Ties go to the lowest shard id.
+    """
+
+    name = "least_loaded"
+
+    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+        loads = np.asarray(
+            [shard.queries for shard in router.shards], dtype=np.int64
+        )
+        shards = np.empty(nodes.size, dtype=np.int64)
+        for i in range(nodes.size):
+            s = int(np.argmin(loads))  # argmin takes the first (lowest) tie
+            shards[i] = s
+            loads[s] += 1
+        return shards
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+}
+
+
+def resolve_policy(policy, owner_map: np.ndarray | None) -> RoutingPolicy:
+    """A policy instance from an instance, ``"owner"``, ``"round_robin"``
+    or ``"least_loaded"`` (``"owner"`` requires ``owner_map``)."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    if policy == OwnerAffinityPolicy.name:
+        if owner_map is None:
+            raise ShardingError(
+                "policy 'owner' needs an owner_map (see "
+                "owner_map_from_partition or a runtime's owner_map())"
+            )
+        return OwnerAffinityPolicy(owner_map)
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        known = ", ".join(sorted([*_POLICIES, OwnerAffinityPolicy.name]))
+        raise ShardingError(
+            f"unknown routing policy {policy!r} (known: {known})"
+        ) from None
+
+
+def owner_map_from_partition(
+    partition: FlatPartition, num_shards: int | None = None
+) -> np.ndarray:
+    """Node→shard affinity from a flat GPA partition.
+
+    Non-hub nodes map to their part (folded modulo ``num_shards`` when
+    given); hubs — the separator, owned by no part — map to ``-1`` and
+    are hashed by :class:`OwnerAffinityPolicy`.
+    """
+    owners = np.asarray(partition.labels, dtype=np.int64).copy()
+    if num_shards is not None:
+        if num_shards < 1:
+            raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
+        owners %= num_shards
+    owners[partition.hubs] = -1
+    return owners

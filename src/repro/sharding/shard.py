@@ -1,0 +1,194 @@
+"""A shard: one partition's replica group plus its result cache.
+
+A shard owns a group of :class:`~repro.sharding.replica.Replica` backends
+(each able to answer any query of the deployment — in a real cluster each
+would hold a copy of the partition's precomputed owned-hub vectors), an
+optional per-shard :class:`~repro.serving.cache.PPVCache`, and the wire
+accounting of its link to the router.  Replica selection is deterministic:
+the healthy replica with the fewest served queries wins, ties going to
+the lowest replica id, so a marked-down replica's traffic reroutes to its
+siblings and drifts back after recovery — no randomness, fully testable
+with a :class:`~repro.serving.service.SimulatedClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flat_index import DEFAULT_BATCH, topk_in_batches, validate_batch
+from repro.distributed.network import NetworkMeter
+from repro.errors import ShardingError
+from repro.serving.cache import PPVCache
+from repro.serving.service import SystemClock
+from repro.sharding.replica import Replica
+
+__all__ = ["RouteInfo", "Shard", "NODE_ID_WIRE_BYTES", "TOPK_ENTRY_WIRE_BYTES"]
+
+NODE_ID_WIRE_BYTES = 8
+"""Bytes per node id on the router→shard request leg."""
+
+TOPK_ENTRY_WIRE_BYTES = 16
+"""Bytes per (id, score) pair on a top-k response row."""
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Per-query routing record returned as ``query_many`` metadata.
+
+    ``replica`` is ``-1`` for rows answered from the shard's cache
+    (no replica did any work).
+    """
+
+    shard: int
+    replica: int
+    cached: bool
+
+
+class Shard:
+    """One partition's replica group behind the router."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        replicas: list,
+        *,
+        cache: PPVCache | None = None,
+        meter: NetworkMeter | None = None,
+        clock=None,
+    ):
+        if not replicas:
+            raise ShardingError(f"shard {shard_id} needs at least one replica")
+        self.shard_id = int(shard_id)
+        self.replicas = [
+            r if isinstance(r, Replica) else Replica(r, i)
+            for i, r in enumerate(replicas)
+        ]
+        sizes = {r.num_nodes for r in self.replicas}
+        if len(sizes) != 1:
+            raise ShardingError(
+                f"shard {shard_id} replicas disagree on num_nodes: {sorted(sizes)}"
+            )
+        self.num_nodes = sizes.pop()
+        self.cache = cache
+        self.meter = meter if meter is not None else NetworkMeter()
+        # Real time by default so a standalone shard's timed outages
+        # still elapse; the router injects its own (possibly simulated)
+        # clock so failover scenarios replay deterministically.
+        self.clock = clock if clock is not None else SystemClock()
+        self.queries = 0  # rows served, cached or computed
+        self.batches = 0
+
+    # ----- failover -----------------------------------------------------
+    def _now(self) -> float:
+        return self.clock.now()
+
+    def mark_down(self, replica: int, *, for_seconds: float | None = None) -> None:
+        """Take one replica out of rotation (until ``mark_up``, or for
+        ``for_seconds`` of clock time when given)."""
+        until = None if for_seconds is None else self._now() + float(for_seconds)
+        self.replicas[replica].mark_down(until=until)
+
+    def mark_up(self, replica: int) -> None:
+        self.replicas[replica].mark_up()
+
+    def pick_replica(self) -> Replica:
+        """Deterministic choice: least served queries among healthy
+        replicas, ties to the lowest replica id."""
+        now = self._now()
+        best = None
+        for replica in self.replicas:
+            if not replica.is_up(now):
+                continue
+            if best is None or replica.served_queries < best.served_queries:
+                best = replica
+        if best is None:
+            raise ShardingError(
+                f"shard {self.shard_id}: every replica is marked down"
+            )
+        return best
+
+    # ----- serving ------------------------------------------------------
+    def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
+        """Dense rows for ``nodes`` via cache + chosen replica (unmetered)."""
+        out = np.empty((nodes.size, self.num_nodes))
+        infos: list[RouteInfo | None] = [None] * nodes.size
+        miss_rows: list[int] = []
+        if self.cache is not None:
+            for i, u in enumerate(nodes.tolist()):
+                hit = self.cache.get(u)
+                if hit is None:
+                    miss_rows.append(i)
+                else:
+                    out[i] = hit
+                    infos[i] = RouteInfo(self.shard_id, -1, True)
+        else:
+            miss_rows = list(range(nodes.size))
+        if miss_rows:
+            rows = np.asarray(miss_rows, dtype=np.int64)
+            unique, inverse = np.unique(nodes[rows], return_inverse=True)
+            replica = self.pick_replica()
+            dense, _ = replica.query_many(unique)
+            out[rows] = dense[inverse]
+            for i in miss_rows:
+                infos[i] = RouteInfo(self.shard_id, replica.replica_id, False)
+            if self.cache is not None:
+                for j, u in enumerate(unique.tolist()):
+                    row = dense[j].copy()
+                    row.flags.writeable = False
+                    self.cache.put(u, row)
+        self.queries += int(nodes.size)
+        return out, infos
+
+    def query_many(self, nodes) -> tuple[np.ndarray, list[RouteInfo]]:
+        """Serve one routed batch of dense PPV rows, metering the wire.
+
+        Request: ``8`` bytes per node id; response: one dense ``8n``-byte
+        row per query — what a real router↔shard link would carry.
+        """
+        nodes = validate_batch(nodes, self.num_nodes)
+        self.meter.record(
+            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
+        )
+        out, infos = self._serve_dense(nodes)
+        self.batches += 1
+        self.meter.record(
+            f"shard-{self.shard_id}", "router", out.nbytes
+        )
+        return out, infos
+
+    def query_many_topk(
+        self,
+        nodes,
+        k: int,
+        *,
+        batch: int = DEFAULT_BATCH,
+        threshold: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[RouteInfo]]:
+        """Shard-side top-k: dense rows reduced before they hit the wire.
+
+        Only the ``(rows, k)`` ids/scores ship back to the router (16
+        bytes per entry), never the dense rows — the whole point of
+        pushing the k-cut (and the ``threshold`` score cut) to the shard.
+        """
+        nodes = validate_batch(nodes, self.num_nodes)
+        self.meter.record(
+            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
+        )
+        ids, scores, infos = topk_in_batches(
+            self._serve_dense, nodes, k, self.num_nodes, batch, threshold
+        )
+        self.batches += 1
+        self.meter.record(
+            f"shard-{self.shard_id}",
+            "router",
+            TOPK_ENTRY_WIRE_BYTES * ids.size,
+        )
+        return ids, scores, infos
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Shard {self.shard_id}: {len(self.replicas)} replica(s), "
+            f"{self.queries} queries>"
+        )

@@ -191,9 +191,8 @@ class TestFinishQueryPairing:
 class TestOwnershipPrecompute:
     def test_gpa_owned_hub_lists(self, dist_gpa):
         seen = {}
-        for mid, (owned, part_csc, skel_csr, nnz) in sorted(
-            dist_gpa._machine_ops.items()
-        ):
+        for mid in sorted(dist_gpa._machine_owned):
+            owned, part_csc, skel_csr, nnz = dist_gpa._ops_for(mid)
             assert np.all(np.diff(owned) > 0)  # sorted, unique
             assert part_csc.shape == (dist_gpa.num_nodes, owned.size)
             assert skel_csr.shape == (dist_gpa.num_nodes, owned.size)
@@ -205,14 +204,41 @@ class TestOwnershipPrecompute:
 
     def test_hgpa_owned_level_lists(self, dist_hgpa):
         seen = set()
-        for (mid, sid), (owned, part_csc, _, _) in dist_hgpa._level_ops.items():
+        for (mid, sid), owned in dist_hgpa._level_owned.items():
             sg = dist_hgpa.index.hierarchy.subgraphs[sid]
             assert np.all(np.isin(owned, sg.hubs))
             assert np.all(np.diff(owned) > 0)
+            ops = dist_hgpa._ops_for(mid, sid)
+            assert ops is not None and ops[1].shape[1] == owned.size
             for h in owned.tolist():
                 assert dist_hgpa._hub_owner[h] == mid
                 seen.add(h)
         assert seen == set(dist_hgpa.index.hub_partials)
+
+    def test_stacked_ops_lazy(self, gpa_small, hgpa_small):
+        """_deploy must not build the stacked matmul buffers: they appear
+        on first query (and only for the levels that query touches)."""
+        gpa = DistributedGPA(gpa_small, 3)
+        assert gpa._machine_ops == {}
+        out, _ = gpa.query_many([0, 5])
+        assert set(gpa._machine_ops) == set(gpa._machine_owned)
+        np.testing.assert_allclose(out[0], gpa_small.query(0), atol=EXACT_ATOL)
+
+        hgpa = DistributedHGPA(hgpa_small, 3)
+        assert hgpa._level_ops == {}
+        vec, _ = hgpa.query(7)
+        assert 0 < len(hgpa._level_ops) <= len(hgpa._level_owned)
+        np.testing.assert_allclose(vec, hgpa_small.query(7), atol=EXACT_ATOL)
+
+    def test_owner_maps_cover_all_nodes(self, dist_gpa, dist_hgpa):
+        for runtime in (dist_gpa, dist_hgpa):
+            owners = runtime.owner_map()
+            assert owners.shape == (runtime.num_nodes,)
+            assert owners.min() >= 0 and owners.max() < runtime.num_machines
+        for h, mid in dist_gpa._hub_owner.items():
+            assert dist_gpa.owner_map()[h] == mid
+        for u, mid in dist_hgpa._leaf_owner.items():
+            assert dist_hgpa.owner_map()[u] == mid
 
 
 class TestDeployment:

@@ -126,6 +126,59 @@ class TestPPVCache:
         assert 0 in cache and 1 not in cache
         assert cache.stats.hits == 0 and cache.stats.misses == 0
 
+    def test_cost_aware_eviction_keeps_expensive_rows(self):
+        """With a weight hook, the cheapest of the LRU-end candidates is
+        evicted, not blindly the oldest."""
+        row_bytes = _ppv_row(10).nbytes
+        cache = PPVCache(3 * row_bytes, weight=lambda u, vec: float(u))
+        for u in (5, 1, 9):  # 1 is cheapest but not oldest
+            cache.put(u, _ppv_row(10))
+        cache.put(7, _ppv_row(10))
+        assert 1 not in cache and 5 in cache and 9 in cache and 7 in cache
+        assert cache.stats.evictions == 1
+
+    def test_default_weightless_is_pure_lru(self):
+        row_bytes = _ppv_row(10).nbytes
+        cache = PPVCache(2 * row_bytes)
+        for u in (5, 1, 9):
+            cache.put(u, _ppv_row(10))
+        assert 5 not in cache  # oldest goes, regardless of id
+
+    def test_weight_sample_bounds_candidates(self):
+        """Only the `sample` least-recently-used entries are candidates:
+        a cheap but recently-used row outside the window survives."""
+        row_bytes = _ppv_row(10).nbytes
+        cache = PPVCache(
+            4 * row_bytes, weight=lambda u, vec: float(u), sample=2
+        )
+        for u in (8, 6, 0, 9):  # 0 is cheapest but outside the LRU-2 window
+            cache.put(u, _ppv_row(10))
+        cache.put(3, _ppv_row(10))
+        assert 0 in cache and 6 not in cache  # 6 is min-weight of {8, 6}
+        assert cache.stats.evictions == 1
+
+    def test_weighted_eviction_never_victimises_new_entry(self):
+        """The row being inserted must survive its own eviction pass even
+        when it is the cheapest in a small (< sample) store."""
+        row_bytes = _ppv_row(10).nbytes
+        cache = PPVCache(3 * row_bytes, weight=lambda u, vec: float(u))
+        for u in (5, 9, 7):
+            cache.put(u, _ppv_row(10))
+        assert cache.put(1, _ppv_row(10))  # cheapest of all, newest
+        assert 1 in cache and 5 not in cache
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_non_finite_weight_rejected(self):
+        cache = PPVCache(1 << 20, weight=lambda u, vec: float("nan"))
+        with pytest.raises(ServingError, match="non-finite"):
+            cache.put(0, _ppv_row(4))
+
+    def test_bad_weight_config_rejected(self):
+        with pytest.raises(ServingError):
+            PPVCache(1 << 20, weight=42)
+        with pytest.raises(ServingError):
+            PPVCache(1 << 20, sample=0)
+
 
 # ----------------------------------------------------------------------
 class TestTopK:
@@ -195,6 +248,47 @@ class TestTopK:
         assert ids[0].tolist() == [1, 0, 2]
         assert scores[0].tolist() == [0.9, 0.5, 0.5]
 
+    @pytest.mark.parametrize("family", ["jw_small", "gpa_small", "hgpa_small"])
+    def test_threshold_matches_manual_filter(self, request, family):
+        """threshold=eps drops score <= eps entries before the k-cut; the
+        survivors are a prefix, the tail is id -1 / score 0.0 padding."""
+        index = request.getfixturevalue(family)
+        queries = np.asarray([0, 7, 57, 150])
+        eps = 0.02
+        ids, scores, _ = index.query_many_topk(queries, 15, threshold=eps)
+        plain_ids, plain_scores, _ = index.query_many_topk(queries, 15)
+        for j in range(queries.size):
+            keep = plain_scores[j] > eps
+            m = int(keep.sum())
+            assert keep[:m].all()  # survivors form a prefix
+            assert ids[j, :m].tolist() == plain_ids[j, :m].tolist()
+            np.testing.assert_allclose(
+                scores[j, :m], plain_scores[j, :m], atol=ATOL, rtol=0
+            )
+            assert np.all(ids[j, m:] == -1) and np.all(scores[j, m:] == 0.0)
+        assert (ids == -1).any()  # eps chosen so the cut actually bites
+
+    def test_threshold_on_single_and_service(self, hgpa_small):
+        ids, scores = hgpa_small.query_topk(42, 10, threshold=0.05)
+        service = PPVService(hgpa_small, clock=SimulatedClock())
+        s_ids, s_scores = service.query_topk(42, 10, threshold=0.05)
+        assert ids.tolist() == s_ids.tolist()
+        np.testing.assert_allclose(scores, s_scores, atol=ATOL, rtol=0)
+        assert np.all(scores[scores > 0] > 0.05)
+
+    def test_threshold_through_adapter_for_runtimes(self, dist_gpa, gpa_small):
+        """Distributed runtimes get thresholding via the adapter's chunked
+        reduction (they have no native query_many_topk)."""
+        backend = as_backend(dist_gpa)
+        ids, scores, _ = backend.query_many_topk([3, 77], 15, threshold=0.02)
+        rids, rscores, _ = gpa_small.query_many_topk([3, 77], 15, threshold=0.02)
+        assert ids.tolist() == rids.tolist()
+        np.testing.assert_allclose(scores, rscores, atol=1e-8, rtol=0)
+
+    def test_threshold_above_everything_pads_fully(self, jw_small):
+        ids, scores = jw_small.query_topk(5, 8, threshold=2.0)
+        assert np.all(ids == -1) and np.all(scores == 0.0)
+
     def test_topk_rows_boundary_ties_smallest_ids(self):
         """Regression: ties straddling the k boundary must resolve to the
         smallest ids, not whatever subset argpartition happens to keep —
@@ -232,6 +326,43 @@ class TestAdapters:
     def test_unservable_rejected(self):
         with pytest.raises(ServingError):
             as_backend(object())
+
+    def test_engine_without_query_many_rejected(self, small_graph):
+        """Having a graph is not enough — the batch API is the contract."""
+
+        class Legacy:
+            def __init__(self, graph):
+                self.graph = graph
+
+            def query(self, u):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ServingError, match="query_many"):
+            as_backend(Legacy(small_graph))
+
+    def test_engine_without_num_nodes_rejected(self):
+        """query_many alone is not enough either: without a num_nodes
+        source the service cannot range-check requests."""
+
+        class Headless:
+            def query_many(self, nodes):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ServingError, match="num_nodes"):
+            as_backend(Headless())
+
+        class GraphNoSize(Headless):
+            graph = object()  # graph present but no num_nodes on it
+
+        with pytest.raises(ServingError, match="num_nodes"):
+            as_backend(GraphNoSize())
+
+    def test_non_callable_query_many_rejected(self):
+        class Fake:
+            query_many = "not callable"
+
+        with pytest.raises(ServingError, match="query_many"):
+            as_backend(Fake())
 
 
 # ----------------------------------------------------------------------
