@@ -13,6 +13,16 @@ from repro.core.flat_index import FlatPPVIndex, QueryStats
 from repro.core.gpa import GPAIndex, build_gpa_index
 from repro.core.hgpa import HGPAIndex, build_hgpa_ad_index, build_hgpa_index
 from repro.core.incremental import UpdateStats, delete_edge, insert_edge
+from repro.core.updates import (
+    EdgeUpdate,
+    UpdateBatch,
+    UpdateReceipt,
+    affected_sources,
+    apply_edge_update,
+    apply_update_batch,
+    delete_edge_flat,
+    insert_edge_flat,
+)
 from repro.core.jw import JWIndex, build_jw_index
 from repro.core.persistence import load_hgpa_index, save_hgpa_index
 from repro.core.linearity import normalize_preference, ppv_for_preference_set
@@ -50,4 +60,12 @@ __all__ = [
     "insert_edge",
     "delete_edge",
     "UpdateStats",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateReceipt",
+    "affected_sources",
+    "apply_edge_update",
+    "apply_update_batch",
+    "insert_edge_flat",
+    "delete_edge_flat",
 ]

@@ -161,6 +161,7 @@ def skeleton_columns(
     alpha: float = 0.15,
     tol: float = 1e-4,
     max_iter: int = 100_000,
+    per_column: bool = False,
 ) -> np.ndarray:
     """Skeleton values ``s_u(h)`` for every node ``u`` and hub ``h`` (Eq. 8).
 
@@ -168,6 +169,12 @@ def skeleton_columns(
     is the full skeleton column of hub ``hub_local[j]``.  The iteration is
     the value-propagation fixed point ``F ← (1-α)·W·F + α·x_h``; each
     column is independent (Theorem 6), so batching is exact.
+
+    ``per_column`` freezes each column as soon as *its* delta converges
+    (instead of iterating until the worst column does), which makes the
+    result independent of how the hubs are grouped into batches — the
+    property incremental updates rely on to recompute a subset of columns
+    bit-identically to a full rebuild.
     """
     n = view.num_nodes
     hubs = np.asarray(hub_local, dtype=np.int64)
@@ -176,6 +183,23 @@ def skeleton_columns(
         return f
     w = view.transition()
     cols = np.arange(hubs.size)
+    if per_column:
+        active = np.ones(hubs.size, dtype=bool)
+        for _ in range(max_iter):
+            live = np.nonzero(active)[0]
+            cur = f[:, live]
+            nxt = (1.0 - alpha) * (w @ cur)
+            nxt[hubs[live], np.arange(live.size)] += alpha
+            deltas = np.abs(nxt - cur).max(axis=0)
+            f[:, live] = nxt
+            done = deltas <= tol * alpha
+            if done.any():
+                active[live[done]] = False
+            if not active.any():
+                return f
+        raise ConvergenceError(
+            f"skeleton_columns: no convergence in {max_iter} iterations"
+        )
     for _ in range(max_iter):
         nxt = (1.0 - alpha) * (w @ f)
         nxt[hubs, cols] += alpha

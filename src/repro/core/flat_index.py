@@ -441,31 +441,53 @@ class FlatPPVIndex:
         return sum(v.nnz for store in stores for v in store.values())
 
     # ------------------------------------------------------------------
-    # Build helpers shared with JW/GPA constructors.
+    # Build helpers shared with JW/GPA constructors and the incremental
+    # update path.  All solvers run in per-column convergence mode, so the
+    # vectors produced are independent of how sources are grouped into
+    # batches — recomputing any subset reproduces a full rebuild exactly.
     # ------------------------------------------------------------------
     def _build_hub_side(self, view: VirtualSubgraph, batch: int) -> None:
         """Hub partial vectors and skeleton columns on ``view``."""
-        if self.hubs.size == 0:
+        self._build_hub_partials(view, self.hubs, batch)
+        self._build_hub_skeletons(view, self.hubs, batch)
+
+    def _build_hub_partials(
+        self, view: VirtualSubgraph, which: np.ndarray, batch: int
+    ) -> None:
+        """Adjusted partial vectors ``P_h`` of the hubs in ``which``."""
+        if which.size == 0:
             return
         hub_local = np.asarray(view.to_local(self.hubs), dtype=np.int64)
-        for lo in range(0, self.hubs.size, batch):
-            chunk = slice(lo, min(lo + batch, self.hubs.size))
-            hubs_chunk = self.hubs[chunk]
+        which_local = np.asarray(view.to_local(which), dtype=np.int64)
+        for lo in range(0, which.size, batch):
+            chunk = slice(lo, min(lo + batch, which.size))
+            hubs_chunk = which[chunk]
             t0 = time.perf_counter()
             d, _ = partial_vectors(
-                view, hub_local, hub_local[chunk],
-                alpha=self.alpha, tol=self.tol,
+                view, hub_local, which_local[chunk],
+                alpha=self.alpha, tol=self.tol, per_column=True,
             )
             per_col = (time.perf_counter() - t0) / max(1, hubs_chunk.size)
             for j, h in enumerate(hubs_chunk.tolist()):
                 col = d[:, j]
-                local_h = int(hub_local[chunk][j])
-                col[local_h] -= self.alpha  # store the adjusted P_h
+                col[int(which_local[chunk][j])] -= self.alpha  # adjusted P_h
                 self.hub_partials[h] = _sparsify(col, view, self.prune)
                 self.build_cost[("hub", h)] = per_col
+
+    def _build_hub_skeletons(
+        self, view: VirtualSubgraph, which: np.ndarray, batch: int
+    ) -> None:
+        """Skeleton columns ``s_·(h)`` of the hubs in ``which``."""
+        if which.size == 0:
+            return
+        which_local = np.asarray(view.to_local(which), dtype=np.int64)
+        for lo in range(0, which.size, batch):
+            chunk = slice(lo, min(lo + batch, which.size))
+            hubs_chunk = which[chunk]
             t0 = time.perf_counter()
             f = skeleton_columns(
-                view, hub_local[chunk], alpha=self.alpha, tol=self.tol
+                view, which_local[chunk],
+                alpha=self.alpha, tol=self.tol, per_column=True,
             )
             per_col = (time.perf_counter() - t0) / max(1, hubs_chunk.size)
             for j, h in enumerate(hubs_chunk.tolist()):
@@ -482,7 +504,7 @@ class FlatPPVIndex:
             t0 = time.perf_counter()
             d, _ = partial_vectors(
                 view, hub_local, src_local[chunk],
-                alpha=self.alpha, tol=self.tol,
+                alpha=self.alpha, tol=self.tol, per_column=True,
             )
             per_col = (time.perf_counter() - t0) / max(1, sources[chunk].size)
             for j, u in enumerate(sources[chunk].tolist()):

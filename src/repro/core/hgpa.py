@@ -418,7 +418,8 @@ def _build_subgraph_hub_side(
         chunk = hubs[sl]
         t0 = time.perf_counter()
         d, _ = partial_vectors(
-            view, hub_local, hub_local[sl], alpha=index.alpha, tol=index.tol
+            view, hub_local, hub_local[sl],
+            alpha=index.alpha, tol=index.tol, per_column=True,
         )
         per_col = (time.perf_counter() - t0) / max(1, chunk.size)
         for j, h in enumerate(chunk.tolist()):
@@ -427,7 +428,10 @@ def _build_subgraph_hub_side(
             index.hub_partials[h] = _sparsify(col, view, index.prune)
             index.build_cost[("hub", h)] = per_col
         t0 = time.perf_counter()
-        f = skeleton_columns(view, hub_local[sl], alpha=index.alpha, tol=index.tol)
+        f = skeleton_columns(
+            view, hub_local[sl],
+            alpha=index.alpha, tol=index.tol, per_column=True,
+        )
         per_col = (time.perf_counter() - t0) / max(1, chunk.size)
         for j, h in enumerate(chunk.tolist()):
             index.skeleton_cols[h] = _sparsify(f[:, j], view, index.prune)
@@ -443,7 +447,8 @@ def _build_leaf_ppvs(
         sl = slice(lo, min(lo + batch, nodes.size))
         t0 = time.perf_counter()
         d, _ = partial_vectors(
-            view, empty, src_local[sl], alpha=index.alpha, tol=index.tol
+            view, empty, src_local[sl],
+            alpha=index.alpha, tol=index.tol, per_column=True,
         )
         per_col = (time.perf_counter() - t0) / max(1, nodes[sl].size)
         for j, u in enumerate(nodes[sl].tolist()):

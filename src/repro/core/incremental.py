@@ -31,7 +31,7 @@ from repro.core.hgpa import (
     _build_leaf_ppvs,
     _build_subgraph_hub_side,
 )
-from repro.errors import GraphError, QueryError
+from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 from repro.partition.hierarchy import PartitionHierarchy, SubgraphNode
 
@@ -40,13 +40,24 @@ __all__ = ["UpdateStats", "insert_edge", "delete_edge"]
 
 @dataclass(frozen=True)
 class UpdateStats:
-    """What one incremental update had to do."""
+    """What one incremental update had to do.
+
+    ``rebuilt_keys`` / ``dropped_keys`` are the store keys (``("hub", h)``,
+    ``("skel", h)``, ``("leaf", u)``, ``("part", u)``) an index update
+    recomputed / removed-without-replacement — the precise delta a
+    deployed runtime must re-ship to the machines owning those vectors.
+    ``affected_subgraphs`` lists the hierarchy subgraph ids rebuilt (empty
+    for flat indexes).
+    """
 
     changed: bool
     promoted_hub: int | None
     rebuilt_subgraphs: int
     rebuilt_vectors: int
     total_vectors: int
+    rebuilt_keys: frozenset = frozenset()
+    dropped_keys: frozenset = frozenset()
+    affected_subgraphs: tuple = ()
 
     @property
     def rebuild_fraction(self) -> float:
@@ -54,6 +65,22 @@ class UpdateStats:
         if self.total_vectors == 0:
             return 0.0
         return self.rebuilt_vectors / self.total_vectors
+
+
+def check_endpoints(graph: DiGraph, u: int, v: int) -> None:
+    """Reject edges touching node ids absent from the graph.
+
+    Both directions are validated and the offending edge is named — an
+    out-of-range endpoint is a *graph* error (the edge cannot exist in
+    this graph), not a malformed query.
+    """
+    n = graph.num_nodes
+    for name, node in (("source", u), ("target", v)):
+        if not 0 <= node < n:
+            raise GraphError(
+                f"edge ({u}, {v}): {name} node {node} not in graph "
+                f"(num_nodes={n})"
+            )
 
 
 def _contains(sorted_arr: np.ndarray, value: int) -> bool:
@@ -130,16 +157,22 @@ def _rebuild(
         store.pop(key, None)
         index.build_cost.pop((kind, key), None)
     # Recompute the affected subgraphs against the new graph.
+    rebuilt_keys: set[tuple] = set()
     for sid in affected_ids:
         sg = subgraphs[sid]
         if sg.hubs.size:
             view = hierarchy.view(sid)
             _build_subgraph_hub_side(index, view, sg.hubs, 256)
             rebuilt_vectors += 2 * sg.hubs.size
+            for h in sg.hubs.tolist():
+                rebuilt_keys.add(("hub", h))
+                rebuilt_keys.add(("skel", h))
         if sg.is_leaf and sg.num_nodes:
             view = hierarchy.view(sid)
             _build_leaf_ppvs(index, view, sg.nodes, 256)
             rebuilt_vectors += sg.num_nodes
+            for node in sg.nodes.tolist():
+                rebuilt_keys.add(("leaf", node))
     total = (
         len(index.hub_partials) + len(index.skeleton_cols) + len(index.leaf_ppv)
     )
@@ -149,6 +182,9 @@ def _rebuild(
         rebuilt_subgraphs=len(affected_ids),
         rebuilt_vectors=rebuilt_vectors,
         total_vectors=total,
+        rebuilt_keys=frozenset(rebuilt_keys),
+        dropped_keys=frozenset(dropped_keys - rebuilt_keys),
+        affected_subgraphs=tuple(affected_ids),
     )
     return index, stats
 
@@ -157,8 +193,7 @@ def insert_edge(index: HGPAIndex, u: int, v: int) -> tuple[HGPAIndex, UpdateStat
     """Return a new index for ``graph + (u → v)``, rebuilt minimally."""
     graph = index.graph
     n = graph.num_nodes
-    if not (0 <= u < n and 0 <= v < n):
-        raise QueryError(f"edge endpoints ({u}, {v}) out of range")
+    check_endpoints(graph, u, v)
     if graph.has_edge(u, v):
         return index, UpdateStats(False, None, 0, 0,
                                   len(index.hub_partials)
@@ -215,8 +250,7 @@ def delete_edge(index: HGPAIndex, u: int, v: int) -> tuple[HGPAIndex, UpdateStat
     """
     graph = index.graph
     n = graph.num_nodes
-    if not (0 <= u < n and 0 <= v < n):
-        raise QueryError(f"edge endpoints ({u}, {v}) out of range")
+    check_endpoints(graph, u, v)
     if not graph.has_edge(u, v):
         return index, UpdateStats(False, None, 0, 0,
                                   len(index.hub_partials)

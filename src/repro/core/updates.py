@@ -1,0 +1,449 @@
+"""Versioned edge updates for every index family — the update pipeline's core.
+
+The paper pre-computes once; a served deployment must keep answering while
+the graph changes.  This module is the single entry point the serving
+stack builds on:
+
+* :class:`EdgeUpdate` / :class:`UpdateBatch` — the update wire format, a
+  declarative ``insert``/``delete`` of one edge (or a sequence of them).
+* :func:`apply_edge_update` — functional update of any mutable index
+  (:class:`~repro.core.hgpa.HGPAIndex` via the hierarchical chain rebuild
+  of :mod:`repro.core.incremental`; :class:`~repro.core.flat_index.
+  FlatPPVIndex` families via the affected-column path below).  The old
+  index stays valid — staggered rollouts serve the old epoch from it
+  while replicas flip one at a time.
+* :class:`UpdateReceipt` — what every layer above passes around: whether
+  anything changed, the epoch the change produced (filled in by whichever
+  layer owns the counter), the *affected sources* report, and the exact
+  store-key delta a distributed deployment must re-ship.
+
+Affected sources
+----------------
+``r_w`` can only change if some walk from ``w`` traverses the updated
+edge ``(u, v)`` — i.e. iff ``w`` can reach ``u``.  The reverse-reachable
+set of ``u`` is therefore the exact invalidation set: sources outside it
+keep *bitwise identical* answers (every stored vector they combine is
+untouched, see below), so caches drop exactly these rows and nothing
+else.  Out-edge changes at ``u`` never alter who reaches ``u``, so the
+set is the same on the old and new graph.
+
+Flat-index incremental path
+---------------------------
+For PPV-JW and GPA the three stores have different staleness sets:
+
+* hub partials ``P_h`` follow *blocked* walks — ``P_h`` is stale iff
+  ``h`` reaches ``u`` through non-hub interior nodes (walks freeze at
+  hubs, so a hub ``u`` stales only its own partial);
+* skeleton columns ``s_·(h)`` are full PPV values at ``h`` — stale iff
+  ``h`` is forward-reachable from the updated edge;
+* node partials are blocked like hub partials, and (GPA) confined to the
+  updated node's part — the separator keeps every other part untouched.
+
+Only those columns are recomputed, with the same per-column-convergent
+solvers the full build uses, so the result is identical to a from-scratch
+rebuild over the same partition — the property the serving stack's
+1e-12 update-vs-rebuild contract rests on.  A GPA insert that crosses two
+parts without touching a hub violates the separator invariant; the repair
+mirrors the hierarchical one: ``u`` is promoted into the hub set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flat_index import DEFAULT_BATCH, FlatPPVIndex, full_view
+from repro.core.hgpa import HGPAIndex
+from repro.core.incremental import (
+    UpdateStats,
+    check_endpoints,
+    delete_edge,
+    insert_edge,
+)
+from repro.errors import GraphError, UpdateError
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import VirtualSubgraph
+from repro.partition.flat import FlatPartition
+
+__all__ = [
+    "INSERT",
+    "DELETE",
+    "UPDATE_WIRE_BYTES",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateReceipt",
+    "affected_sources",
+    "apply_edge_update",
+    "apply_update_batch",
+    "insert_edge_flat",
+    "delete_edge_flat",
+]
+
+INSERT = "insert"
+DELETE = "delete"
+
+UPDATE_WIRE_BYTES = 24
+"""Bytes one edge update occupies on a wire: op tag + two int64 node ids
+(with alignment) — what update fan-out traffic is metered as."""
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One declarative edge mutation: ``op`` is ``"insert"`` / ``"delete"``."""
+
+    op: str
+    u: int
+    v: int
+
+    def __post_init__(self):
+        if self.op not in (INSERT, DELETE):
+            raise UpdateError(
+                f"unknown update op {self.op!r} (expected {INSERT!r} or {DELETE!r})"
+            )
+        if self.u != int(self.u) or self.v != int(self.v):
+            raise UpdateError(f"edge endpoints must be integers: ({self.u}, {self.v})")
+
+    @classmethod
+    def insert(cls, u: int, v: int) -> "EdgeUpdate":
+        return cls(INSERT, int(u), int(v))
+
+    @classmethod
+    def delete(cls, u: int, v: int) -> "EdgeUpdate":
+        return cls(DELETE, int(u), int(v))
+
+    def inverse(self) -> "EdgeUpdate":
+        """The update that undoes this one."""
+        return EdgeUpdate(DELETE if self.op == INSERT else INSERT, self.u, self.v)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = "+" if self.op == INSERT else "-"
+        return f"{arrow}({self.u}->{self.v})"
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """An ordered sequence of :class:`EdgeUpdate`\\ s applied atomically."""
+
+    updates: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "updates", tuple(self.updates))
+        for upd in self.updates:
+            if not isinstance(upd, EdgeUpdate):
+                raise UpdateError(f"UpdateBatch holds EdgeUpdates, got {upd!r}")
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass(frozen=True)
+class UpdateReceipt:
+    """Everything a layer above needs to know about one applied update.
+
+    ``epoch`` is the version the update produced *at the layer that issued
+    the receipt* — the core sets 0 and every epoch-owning layer stamps its
+    own counter via :meth:`at_epoch`.  ``affected_sources`` is the sorted
+    set of source nodes whose PPVs may differ from the previous epoch
+    (exact invalidation set; see the module docstring).
+    """
+
+    update: EdgeUpdate
+    changed: bool
+    epoch: int
+    affected_sources: np.ndarray
+    stats: UpdateStats
+
+    def __post_init__(self):
+        arr = np.asarray(self.affected_sources, dtype=np.int64)
+        arr.flags.writeable = False
+        object.__setattr__(self, "affected_sources", arr)
+
+    @property
+    def num_affected(self) -> int:
+        return int(self.affected_sources.size)
+
+    def at_epoch(self, epoch: int) -> "UpdateReceipt":
+        """A copy stamped with the caller's epoch counter."""
+        return dataclasses.replace(self, epoch=int(epoch))
+
+
+# ----------------------------------------------------------------------
+# Reachability closures.
+# ----------------------------------------------------------------------
+def _closure(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    seeds,
+    through: np.ndarray | None = None,
+) -> np.ndarray:
+    """Nodes reachable from ``seeds`` along the given adjacency.
+
+    ``through`` (a boolean mask) restricts which *interior* nodes the
+    traversal may pass through; seeds always expand, and blocked nodes are
+    still reported when reached (they end paths, they don't hide them).
+    """
+    n = indptr.size - 1
+    visited = np.zeros(n, dtype=bool)
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    visited[frontier] = True
+    while frontier.size:
+        counts = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.zeros(frontier.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], counts)
+            + np.repeat(indptr[frontier].astype(np.int64), counts)
+        )
+        neigh = np.unique(np.asarray(indices[flat], dtype=np.int64))
+        new = neigh[~visited[neigh]]
+        visited[new] = True
+        frontier = new if through is None else new[through[new]]
+    return np.nonzero(visited)[0].astype(np.int64)
+
+
+def affected_sources(graph: DiGraph, u: int) -> np.ndarray:
+    """Sorted source nodes whose PPV can change when an out-edge of ``u``
+    is inserted or deleted — the reverse-reachable set of ``u``.
+
+    Sources outside this set keep bitwise-identical answers across the
+    update, so it is exactly what serving caches invalidate.
+    """
+    if not 0 <= u < graph.num_nodes:
+        raise GraphError(f"node {u} not in graph (num_nodes={graph.num_nodes})")
+    rev = graph.in_csr()
+    return _closure(rev.indptr, rev.indices, [u])
+
+
+# ----------------------------------------------------------------------
+# Flat-index (PPV-JW / GPA) incremental path.
+# ----------------------------------------------------------------------
+def _flat_noop(index: FlatPPVIndex) -> UpdateStats:
+    total = (
+        len(index.hub_partials)
+        + len(index.skeleton_cols)
+        + len(index.node_partials)
+    )
+    return UpdateStats(False, None, 0, 0, total)
+
+
+def _flat_update(
+    index: FlatPPVIndex, u: int, v: int, *, insert: bool
+) -> tuple[FlatPPVIndex, UpdateStats]:
+    graph = index.graph
+    n = graph.num_nodes
+    check_endpoints(graph, u, v)
+    if insert:
+        if graph.has_edge(u, v):
+            return index, _flat_noop(index)
+    else:
+        if not graph.has_edge(u, v):
+            return index, _flat_noop(index)
+        if graph.out_degree(u) == 1:
+            raise GraphError(
+                f"removing ({u}, {v}) would leave node {u} dangling; "
+                "normalise the graph first"
+            )
+    src, dst = graph.edge_arrays()
+    if insert:
+        new_graph = DiGraph.from_arrays(
+            n,
+            np.concatenate([src, [u]]),
+            np.concatenate([dst, [v]]),
+            name=graph.name,
+        )
+    else:
+        keep = ~((src == u) & (dst == v))
+        new_graph = DiGraph.from_arrays(n, src[keep], dst[keep], name=graph.name)
+
+    hubs = index.hubs
+    hub_mask = np.zeros(n, dtype=bool)
+    hub_mask[hubs] = True
+    u_is_hub = bool(hub_mask[u])
+
+    partition = getattr(index, "partition", None)
+    promoted: int | None = None
+    new_hubs = hubs
+    new_partition = partition
+    if partition is not None:
+        if (
+            insert
+            and not u_is_hub
+            and not hub_mask[v]
+            and int(partition.labels[u]) != int(partition.labels[v])
+        ):
+            # The new edge bypasses the separator: promote u into the hub
+            # set (the flat mirror of the hierarchical repair — after it,
+            # no tour can cross between parts without touching a hub).
+            promoted = u
+            new_hubs = np.insert(hubs, int(np.searchsorted(hubs, u)), u)
+            part_of_u = int(partition.labels[u])
+            new_part_nodes = [
+                nodes if p != part_of_u else nodes[nodes != u]
+                for p, nodes in enumerate(partition.part_nodes)
+            ]
+        else:
+            new_part_nodes = partition.part_nodes
+        new_partition = FlatPartition(
+            graph=new_graph,
+            num_parts=partition.num_parts,
+            labels=partition.labels,
+            hubs=new_hubs,
+            part_nodes=new_part_nodes,
+        )
+
+    # Staleness sets, computed on the old graph (out-edge changes at u do
+    # not alter who reaches u).  Walks freeze at hubs, so an update at a
+    # hub node stales only its own partial vector.
+    if u_is_hub:
+        blocked = np.asarray([u], dtype=np.int64)
+    else:
+        rev = graph.in_csr()
+        blocked = _closure(rev.indptr, rev.indices, [u], through=~hub_mask)
+    seeds = [u, v] if insert else [u]
+    forward = _closure(graph.indptr, graph.indices, seeds)
+
+    stale_hub_partials = blocked[hub_mask[blocked]]
+    stale_skels = forward[hub_mask[forward]]
+    stale_parts = blocked[~hub_mask[blocked]]
+
+    overrides: dict = dict(
+        graph=new_graph,
+        hubs=new_hubs,
+        hub_partials=dict(index.hub_partials),
+        skeleton_cols=dict(index.skeleton_cols),
+        node_partials=dict(index.node_partials),
+        build_cost=dict(index.build_cost),
+        _ops_cache=None,
+    )
+    if partition is not None:
+        overrides["partition"] = new_partition
+    new_index = dataclasses.replace(index, **overrides)
+
+    dropped: set[tuple] = set()
+    if promoted is not None:
+        new_index.node_partials.pop(u, None)
+        new_index.build_cost.pop(("part", u), None)
+        dropped.add(("part", u))
+        stale_hub_partials = np.union1d(stale_hub_partials, [u])
+        stale_skels = np.union1d(stale_skels, [u])
+        stale_parts = stale_parts[stale_parts != u]
+
+    view = full_view(new_graph)
+    new_index._build_hub_partials(view, stale_hub_partials, DEFAULT_BATCH)
+    new_index._build_hub_skeletons(view, stale_skels, DEFAULT_BATCH)
+    rebuilt: set[tuple] = {("hub", int(h)) for h in stale_hub_partials.tolist()}
+    rebuilt |= {("skel", int(h)) for h in stale_skels.tolist()}
+
+    if stale_parts.size:
+        if new_partition is not None:
+            # Blocked paths cannot cross the separator, so every stale
+            # source lives in u's part — one confined view rebuild.
+            for nodes in new_partition.part_nodes:
+                mine = np.intersect1d(stale_parts, nodes)
+                if mine.size == 0:
+                    continue
+                pview = VirtualSubgraph(
+                    new_graph, np.concatenate([nodes, new_hubs])
+                )
+                hub_local = np.asarray(
+                    pview.to_local(new_hubs), dtype=np.int64
+                )
+                new_index._build_node_partials(
+                    pview, mine, hub_local, DEFAULT_BATCH
+                )
+        else:
+            new_index._build_node_partials(
+                view, stale_parts, new_hubs, DEFAULT_BATCH
+            )
+        rebuilt |= {("part", int(w)) for w in stale_parts.tolist()}
+
+    total = (
+        len(new_index.hub_partials)
+        + len(new_index.skeleton_cols)
+        + len(new_index.node_partials)
+    )
+    stats = UpdateStats(
+        changed=True,
+        promoted_hub=promoted,
+        rebuilt_subgraphs=0,
+        rebuilt_vectors=len(rebuilt),
+        total_vectors=total,
+        rebuilt_keys=frozenset(rebuilt),
+        dropped_keys=frozenset(dropped - rebuilt),
+    )
+    return new_index, stats
+
+
+def insert_edge_flat(
+    index: FlatPPVIndex, u: int, v: int
+) -> tuple[FlatPPVIndex, UpdateStats]:
+    """Return a new flat index for ``graph + (u → v)``, rebuilt minimally."""
+    return _flat_update(index, u, v, insert=True)
+
+
+def delete_edge_flat(
+    index: FlatPPVIndex, u: int, v: int
+) -> tuple[FlatPPVIndex, UpdateStats]:
+    """Return a new flat index for ``graph − (u → v)``, rebuilt minimally."""
+    return _flat_update(index, u, v, insert=False)
+
+
+# ----------------------------------------------------------------------
+# The uniform entry point.
+# ----------------------------------------------------------------------
+def apply_edge_update(index, update: EdgeUpdate):
+    """Apply one :class:`EdgeUpdate` to any mutable index, functionally.
+
+    Returns ``(new_index, receipt)``; the old index stays valid for the
+    old graph (untouched vectors are shared, not copied).  The receipt's
+    ``epoch`` is 0 — layers that own an epoch counter stamp their own via
+    :meth:`UpdateReceipt.at_epoch`.
+    """
+    if not isinstance(update, EdgeUpdate):
+        raise UpdateError(f"expected an EdgeUpdate, got {update!r}")
+    if isinstance(index, HGPAIndex):
+        fn = insert_edge if update.op == INSERT else delete_edge
+        new_index, stats = fn(index, update.u, update.v)
+    elif isinstance(index, FlatPPVIndex):
+        new_index, stats = _flat_update(
+            index, update.u, update.v, insert=update.op == INSERT
+        )
+    else:
+        raise UpdateError(
+            f"{type(index).__name__} does not support incremental edge updates"
+        )
+    affected = (
+        affected_sources(new_index.graph, update.u)
+        if stats.changed
+        else np.empty(0, dtype=np.int64)
+    )
+    receipt = UpdateReceipt(
+        update=update,
+        changed=stats.changed,
+        epoch=0,
+        affected_sources=affected,
+        stats=stats,
+    )
+    return new_index, receipt
+
+
+def apply_update_batch(index, batch):
+    """Apply an :class:`UpdateBatch` (or iterable of updates) in order.
+
+    Returns ``(new_index, receipts)`` — one receipt per update, in
+    application order.
+    """
+    receipts = []
+    for update in batch:
+        index, receipt = apply_edge_update(index, update)
+        receipts.append(receipt)
+    return index, receipts

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.flat_index import stack_columns
 from repro.core.sparsevec import SparseVec
@@ -49,6 +50,24 @@ class QueryReport:
         return (max(entries) / mean) if mean > 0 else 1.0
 
 
+def _stack_shared(
+    cols: list[SparseVec], n: int
+) -> tuple[sp.csc_matrix, np.ndarray]:
+    """Stack sparse vectors as CSC columns over explicit shared buffers.
+
+    Returns ``(matrix, idx)`` where ``matrix.data`` *is* the concatenated
+    value buffer (scipy wraps float64 data without copying) and ``idx``
+    is the concatenated int64 index buffer — the arrays store vectors can
+    be rebound onto as views.
+    """
+    if not cols:
+        return sp.csc_matrix((n, 0)), np.empty(0, dtype=np.int64)
+    idx = np.concatenate([v.idx for v in cols])
+    val = np.concatenate([v.val for v in cols])
+    indptr = np.concatenate([[0], np.cumsum([v.nnz for v in cols])])
+    return sp.csc_matrix((val, idx, indptr), shape=(n, len(cols))), idx
+
+
 @dataclass
 class ClusterBase:
     """Machines + coordinator + cost model, with deployment-wide metrics."""
@@ -84,20 +103,36 @@ class ClusterBase:
         return sum(m.offline_seconds for m in self.machines)
 
     # ----- stacked query ops --------------------------------------------
-    def _stack_ops(self, owned: np.ndarray) -> tuple:
+    def _stack_ops(self, owned: np.ndarray, *, machine: Machine | None = None) -> tuple:
         """Stacked (owned, partial CSC, skeleton CSR, nnz-per-hub) ops.
 
         The shared body of both runtimes' lazy ``_ops_for`` builders;
         relies on the subclass carrying its index (with ``hub_partials``
         / ``skeleton_cols`` stores) as ``self.index``.
+
+        When ``machine`` is given, the machine's stored **hub partials**
+        are rebound as read-only views into the stacked CSC's own buffers
+        (``np.shares_memory``-asserted by the tests): the CSC *is* the
+        query op, so the store's copy of every partial becomes free.
+        The skeleton side cannot share — its query form is the row-sliced
+        CSR, a reorganized copy in which a column's entries are scattered
+        — so the skeleton stores keep their original per-vector arrays
+        and the CSR copy remains the price of matmul-form skeleton
+        lookups.
         """
         index = self.index
-        part_csc = stack_columns(
-            [index.hub_partials[h] for h in owned.tolist()], self.num_nodes
-        )
-        skel_csr = stack_columns(
-            [index.skeleton_cols[h] for h in owned.tolist()], self.num_nodes
-        ).tocsr()
+        parts = [index.hub_partials[h] for h in owned.tolist()]
+        skels = [index.skeleton_cols[h] for h in owned.tolist()]
+        part_csc, part_idx = _stack_shared(parts, self.num_nodes)
+        skel_csr = stack_columns(skels, self.num_nodes).tocsr()
+        if machine is not None:
+            pp = part_csc.indptr
+            for j, h in enumerate(owned.tolist()):
+                machine.store[("hub", h)] = SparseVec(
+                    part_idx[pp[j] : pp[j + 1]],
+                    part_csc.data[pp[j] : pp[j + 1]],
+                    _trusted=True,
+                )
         return (owned, part_csc, skel_csr, np.diff(part_csc.indptr))
 
     # ----- ownership ----------------------------------------------------

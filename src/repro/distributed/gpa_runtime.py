@@ -31,6 +31,12 @@ from repro.core.flat_index import (
     validate_batch,
 )
 from repro.core.gpa import GPAIndex
+from repro.core.updates import (
+    UPDATE_WIRE_BYTES,
+    EdgeUpdate,
+    UpdateReceipt,
+    apply_edge_update,
+)
 from repro.distributed.cluster import ClusterBase, QueryReport
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
@@ -50,6 +56,7 @@ class DistributedGPA(ClusterBase):
     ):
         super().__init__(num_nodes=index.graph.num_nodes, cost_model=cost_model)
         self.index = index
+        self.epoch = 0
         self.init_cluster(num_machines)
         self._hub_owner: dict[int, int] = {}
         self._node_owner: dict[int, int] = {}
@@ -94,15 +101,18 @@ class DistributedGPA(ClusterBase):
     def _ops_for(self, mid: int) -> tuple:
         """The machine's stacked (owned, CSC, CSR, nnz-per-hub) query ops.
 
-        Built on first use and cached: the stacked matrices copy the
-        owned vectors' arrays, so a *queried* machine's resident memory
-        is ~2x its store (the space metric counts the store only) — the
-        price of matmul-form queries.  Deployments that never query
-        never pay it.
+        Built on first use and cached; the machine's stored hub partials
+        are rebound as read-only views into the stacked CSC's buffers
+        (see :meth:`ClusterBase._stack_ops`), so the partial-vector side
+        of matmul-form queries costs one resident copy, not two (the
+        skeleton CSR remains a reorganized copy).  Deployments that never
+        query keep only the store.
         """
         ops = self._machine_ops.get(mid)
         if ops is None:
-            ops = self._stack_ops(self._machine_owned[mid])
+            ops = self._stack_ops(
+                self._machine_owned[mid], machine=self.machines[mid]
+            )
             self._machine_ops[mid] = ops
         return ops
 
@@ -216,6 +226,91 @@ class DistributedGPA(ClusterBase):
             out[k] = result
             reports.append(report)
         return out, reports
+
+    # ------------------------------------------------------------------
+    def apply_update(self, update: EdgeUpdate) -> UpdateReceipt:
+        """Apply one edge update, re-deploying only affected machines.
+
+        The index is updated incrementally (affected columns only); each
+        rebuilt vector is re-shipped to the machine that already owns it
+        — metered coordinator→machine like any other traffic — and only
+        those machines' stacked query ops are invalidated.  A hub
+        promoted by the update is assigned to the machine owning the
+        fewest hubs (deterministic, ties to the lowest id).  Bumps the
+        deployment epoch when anything changed.
+        """
+        new_index, receipt = apply_edge_update(self.index, update)
+        if not receipt.changed:
+            return receipt.at_epoch(self.epoch)
+        meter = self.coordinator.meter
+        stats = receipt.stats
+        invalidate: set[int] = set()
+        touched: set[int] = set()
+        for kind, node in sorted(stats.dropped_keys):
+            if kind in ("hub", "skel"):
+                mid = self._hub_owner[node]
+                invalidate.add(mid)
+            else:
+                mid = self._node_owner[node]
+            self.machines[mid].drop((kind, node))
+            touched.add(mid)
+        for kind, node in sorted(stats.dropped_keys):
+            if kind == "part":
+                self._node_owner.pop(node, None)
+            elif kind == "hub":
+                self._remove_owned_hub(node)
+        for kind, node in sorted(stats.rebuilt_keys):
+            if kind in ("hub", "skel"):
+                mid = self._hub_owner.get(node)
+                if mid is None:
+                    mid = self._assign_new_hub(node)
+                invalidate.add(mid)
+                vec = (
+                    new_index.hub_partials
+                    if kind == "hub"
+                    else new_index.skeleton_cols
+                )[node]
+            else:
+                mid = self._node_owner.get(node)
+                if mid is None:  # pragma: no cover - updates never add nodes
+                    raise ClusterError(f"no owner for rebuilt vector {node}")
+                vec = new_index.node_partials[node]
+            machine = self.machines[mid]
+            key = (kind, node)
+            cost = new_index.build_cost.get(key, 0.0)
+            if machine.has(key):
+                machine.replace(key, vec, build_seconds=cost)
+            else:
+                machine.put(key, vec, build_seconds=cost)
+            meter.record("coordinator", f"machine-{mid}", vec.wire_bytes)
+            touched.add(mid)
+        for mid in sorted(touched):
+            meter.record("coordinator", f"machine-{mid}", UPDATE_WIRE_BYTES)
+        for mid in invalidate:
+            self._machine_ops.pop(mid, None)
+        self.index = new_index
+        self.epoch += 1
+        return receipt.at_epoch(self.epoch)
+
+    def _assign_new_hub(self, h: int) -> int:
+        """Deterministic placement of a promoted hub: fewest owned hubs,
+        ties to the lowest machine id."""
+        mid = min(
+            range(self.num_machines),
+            key=lambda m: (self._machine_owned[m].size, m),
+        )
+        owned = self._machine_owned[mid]
+        self._machine_owned[mid] = np.insert(
+            owned, int(np.searchsorted(owned, h)), h
+        )
+        self._hub_owner[h] = mid
+        return mid
+
+    def _remove_owned_hub(self, h: int) -> None:
+        mid = self._hub_owner.pop(h, None)
+        if mid is not None:
+            owned = self._machine_owned[mid]
+            self._machine_owned[mid] = owned[owned != h]
 
     # ------------------------------------------------------------------
     def validate_deployment(self) -> None:

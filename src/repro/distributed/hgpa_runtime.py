@@ -38,6 +38,12 @@ from repro.core.flat_index import (
     validate_batch,
 )
 from repro.core.hgpa import HGPAIndex, _chain_membership
+from repro.core.updates import (
+    UPDATE_WIRE_BYTES,
+    EdgeUpdate,
+    UpdateReceipt,
+    apply_edge_update,
+)
 from repro.distributed.cluster import ClusterBase, QueryReport
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
@@ -57,6 +63,7 @@ class DistributedHGPA(ClusterBase):
     ):
         super().__init__(num_nodes=index.graph.num_nodes, cost_model=cost_model)
         self.index = index
+        self.epoch = 0
         self.init_cluster(num_machines)
         self._hub_owner: dict[int, int] = {}
         self._leaf_owner: dict[int, int] = {}
@@ -111,7 +118,7 @@ class DistributedHGPA(ClusterBase):
             return None
         ops = self._level_ops.get(key)
         if ops is None:
-            ops = self._stack_ops(owned)
+            ops = self._stack_ops(owned, machine=self.machines[mid])
             self._level_ops[key] = ops
         return ops
 
@@ -259,6 +266,94 @@ class DistributedHGPA(ClusterBase):
             out[k] = result
             reports.append(report)
         return out, reports
+
+    # ------------------------------------------------------------------
+    def apply_update(self, update: EdgeUpdate) -> UpdateReceipt:
+        """Apply one edge update, re-deploying only affected machines.
+
+        The index is updated via the hierarchical chain rebuild; every
+        rebuilt vector ships to the machine already owning it (metered
+        coordinator→machine), dropped vectors (a promoted node's old
+        role) are removed from their owners, and only the stacked ops of
+        the affected (machine, level) pairs are invalidated — untouched
+        levels keep serving from their cached CSC/CSR.  A promoted hub is
+        assigned to the machine owning the fewest hubs (deterministic).
+        Bumps the deployment epoch when anything changed.
+        """
+        new_index, receipt = apply_edge_update(self.index, update)
+        if not receipt.changed:
+            return receipt.at_epoch(self.epoch)
+        meter = self.coordinator.meter
+        stats = receipt.stats
+        touched: set[int] = set()
+        for kind, node in sorted(stats.dropped_keys):
+            owners = self._hub_owner if kind in ("hub", "skel") else self._leaf_owner
+            mid = owners[node]
+            self.machines[mid].drop((kind, node))
+            touched.add(mid)
+        for kind, node in sorted(stats.dropped_keys):
+            if kind == "leaf":
+                self._leaf_owner.pop(node, None)
+            elif kind == "hub":
+                self._hub_owner.pop(node, None)
+        for kind, node in sorted(stats.rebuilt_keys):
+            if kind in ("hub", "skel"):
+                mid = self._hub_owner.get(node)
+                if mid is None:
+                    mid = min(
+                        range(self.num_machines),
+                        key=lambda m: (
+                            sum(
+                                owned.size
+                                for (omid, _), owned in self._level_owned.items()
+                                if omid == m
+                            ),
+                            m,
+                        ),
+                    )
+                    self._hub_owner[node] = mid
+                vec = (
+                    new_index.hub_partials
+                    if kind == "hub"
+                    else new_index.skeleton_cols
+                )[node]
+            else:
+                mid = self._leaf_owner.get(node)
+                if mid is None:  # pragma: no cover - updates never add nodes
+                    raise ClusterError(f"no owner for rebuilt leaf vector {node}")
+                vec = new_index.leaf_ppv[node]
+            machine = self.machines[mid]
+            key = (kind, node)
+            cost = new_index.build_cost.get(key, 0.0)
+            if machine.has(key):
+                machine.replace(key, vec, build_seconds=cost)
+            else:
+                machine.put(key, vec, build_seconds=cost)
+            meter.record("coordinator", f"machine-{mid}", vec.wire_bytes)
+            touched.add(mid)
+        for mid in sorted(touched):
+            meter.record("coordinator", f"machine-{mid}", UPDATE_WIRE_BYTES)
+        # Re-derive ownership slices of the rebuilt levels from the hub
+        # owners (surviving hubs keep their machines; a promoted hub joins
+        # its assigned machine's slice) and invalidate only those levels'
+        # stacked ops.
+        for sid in stats.affected_subgraphs:
+            sg = new_index.hierarchy.subgraphs[sid]
+            owner_of = np.asarray(
+                [self._hub_owner.get(int(h), -1) for h in sg.hubs.tolist()],
+                dtype=np.int64,
+            )
+            for machine in self.machines:
+                mid = machine.machine_id
+                self._level_ops.pop((mid, sid), None)
+                owned = sg.hubs[owner_of == mid]
+                if owned.size:
+                    self._level_owned[(mid, sid)] = owned
+                else:
+                    self._level_owned.pop((mid, sid), None)
+        self.index = new_index
+        self.epoch += 1
+        return receipt.at_epoch(self.epoch)
 
     # ------------------------------------------------------------------
     def validate_deployment(self) -> None:

@@ -38,6 +38,29 @@ class Machine:
         self.store[key] = vec
         self.offline_seconds += build_seconds
 
+    def replace(
+        self, key: StoreKey, vec: SparseVec, *, build_seconds: float = 0.0
+    ) -> None:
+        """Overwrite an installed vector (a live update re-shipping it).
+
+        The update's build cost is accounted to offline time like the
+        original pre-computation — it is work the machine performs off
+        the query path.
+        """
+        if key not in self.store:
+            raise ClusterError(
+                f"machine {self.machine_id}: cannot replace missing vector {key}"
+            )
+        self.store[key] = vec
+        self.offline_seconds += build_seconds
+
+    def drop(self, key: StoreKey) -> None:
+        """Remove a vector the deployment no longer assigns to this machine."""
+        if self.store.pop(key, None) is None:
+            raise ClusterError(
+                f"machine {self.machine_id}: cannot drop missing vector {key}"
+            )
+
     def get(self, key: StoreKey) -> SparseVec:
         try:
             return self.store[key]

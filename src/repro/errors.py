@@ -41,6 +41,11 @@ class SerializationError(ReproError):
     """Raised when a wire payload cannot be encoded or decoded."""
 
 
+class UpdateError(ReproError):
+    """Raised for malformed edge updates or engines that cannot apply
+    incremental updates."""
+
+
 class ServingError(ReproError):
     """Raised for invalid serving-layer configurations or requests."""
 

@@ -12,7 +12,13 @@ traffic — single-node requests, heavy skew, top-k answers:
   simulated distributed runtimes.
 """
 
-from repro.serving.adapters import QueryBackend, as_backend
+from repro.serving.adapters import (
+    MutableBackend,
+    QueryBackend,
+    as_backend,
+    as_mutable_backend,
+)
+from repro.serving.admission import FrequencySketch
 from repro.serving.cache import CacheStats, PPVCache
 from repro.serving.service import (
     PPVService,
@@ -24,7 +30,10 @@ from repro.serving.service import (
 
 __all__ = [
     "QueryBackend",
+    "MutableBackend",
     "as_backend",
+    "as_mutable_backend",
+    "FrequencySketch",
     "CacheStats",
     "PPVCache",
     "PPVService",

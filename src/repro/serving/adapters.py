@@ -19,11 +19,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.flat_index import DEFAULT_BATCH, topk_in_batches, validate_batch
+from repro.core.flat_index import (
+    DEFAULT_BATCH,
+    FlatPPVIndex,
+    topk_in_batches,
+    validate_batch,
+)
+from repro.core.hgpa import HGPAIndex
+from repro.core.updates import EdgeUpdate, UpdateReceipt, apply_edge_update
 from repro.distributed.cluster import ClusterBase
 from repro.errors import ServingError
 
-__all__ = ["QueryBackend", "as_backend"]
+__all__ = ["QueryBackend", "MutableBackend", "as_backend", "as_mutable_backend"]
 
 
 class QueryBackend:
@@ -33,7 +40,16 @@ class QueryBackend:
     metadata list)``; ``query_many_topk(nodes, k)`` returns ``(ids,
     scores, metadata)`` with chunk-bounded dense intermediates, using the
     engine's native top-k path when it has one.
+
+    Every backend carries an ``epoch`` — the version of the graph its
+    answers are computed against.  A static backend stays at 0 forever;
+    :class:`MutableBackend` (and the runtimes/routers that subclass or
+    implement this interface) advance it per applied update, and the
+    serving frontend tags each response with the epoch it was answered
+    at.
     """
+
+    epoch = 0
 
     def __init__(self, engine, num_nodes: int):
         self.engine = engine
@@ -62,6 +78,66 @@ class QueryBackend:
         return f"<QueryBackend over {type(self.engine).__name__}>"
 
 
+class MutableBackend(QueryBackend):
+    """A query backend whose engine accepts live :class:`EdgeUpdate`\\ s.
+
+    This is the ``MutableBackend`` protocol the whole update pipeline
+    rides on: ``apply_update(EdgeUpdate) -> UpdateReceipt`` plus an
+    ``epoch`` counter.  Functional engines (the index families) are
+    swapped for their updated successors — the *old* index object stays
+    valid, which is what lets a staggered rollout keep serving the old
+    epoch from replicas that have not flipped yet.  Engines with a native
+    ``apply_update`` (the distributed runtimes) are delegated to and
+    their epoch mirrored.
+    """
+
+    def __init__(self, engine, num_nodes: int):
+        super().__init__(engine, num_nodes)
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        native = getattr(self.engine, "epoch", None)
+        return self._epoch if native is None else int(native)
+
+    def apply_update(self, update: EdgeUpdate, *, shared=None) -> UpdateReceipt:
+        """Apply one update; returns the receipt stamped with this
+        backend's epoch.
+
+        ``shared`` (a dict) memoizes the expensive index rebuild by
+        engine identity: several backends wrapping one shared engine
+        object — the common in-process replica setup — recompute once and
+        all rebind to the same successor index.
+        """
+        native = getattr(self.engine, "apply_update", None)
+        if native is not None:
+            key = id(self.engine)
+            if shared is not None and key in shared:
+                _, receipt = shared[key]
+            else:
+                receipt = native(update)
+                if shared is not None:
+                    shared[key] = (self.engine, receipt)
+            return receipt
+        key = id(self.engine)
+        if shared is not None and key in shared:
+            new_engine, receipt = shared[key]
+        else:
+            new_engine, receipt = apply_edge_update(self.engine, update)
+            if shared is not None:
+                shared[key] = (new_engine, receipt)
+        if receipt.changed:
+            self.engine = new_engine
+            self._epoch += 1
+        return receipt.at_epoch(self._epoch)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MutableBackend over {type(self.engine).__name__} "
+            f"@epoch {self.epoch}>"
+        )
+
+
 def as_backend(engine) -> QueryBackend:
     """Wrap an index or distributed runtime as a :class:`QueryBackend`.
 
@@ -84,3 +160,34 @@ def as_backend(engine) -> QueryBackend:
     raise ServingError(
         f"cannot determine num_nodes for {type(engine).__name__}"
     )
+
+
+def as_mutable_backend(engine) -> QueryBackend:
+    """Wrap an engine for live updates behind the uniform interface.
+
+    Accepts the mutable index families (:class:`FlatPPVIndex` subclasses,
+    :class:`HGPAIndex`), anything with a native ``apply_update`` (the
+    distributed runtimes, a :class:`~repro.sharding.router.ShardRouter`),
+    or an existing backend over one of those.  Engines without an update
+    path (e.g. the Monte-Carlo approximations) are rejected up front.
+    """
+    if isinstance(engine, MutableBackend):
+        return engine
+    if isinstance(engine, QueryBackend):
+        if callable(getattr(engine, "apply_update", None)):
+            return engine  # e.g. a ShardRouter — already mutable
+        engine = engine.engine
+    if not callable(getattr(engine, "query_many", None)):
+        raise ServingError(
+            f"{type(engine).__name__} has no query_many — not a servable engine"
+        )
+    updatable = isinstance(engine, (FlatPPVIndex, HGPAIndex)) or callable(
+        getattr(engine, "apply_update", None)
+    )
+    if not updatable:
+        raise ServingError(
+            f"{type(engine).__name__} cannot apply incremental edge updates"
+        )
+    if isinstance(engine, ClusterBase):
+        return MutableBackend(engine, engine.num_nodes)
+    return MutableBackend(engine, engine.graph.num_nodes)

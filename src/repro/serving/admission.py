@@ -1,0 +1,95 @@
+"""TinyLFU-style admission: a count-min doorkeeper for the PPV cache.
+
+A pure LRU (even the cost-aware variant) admits every insert, so an
+adversarial one-shot stream — each key requested exactly once — flushes
+the hot working set straight out of the cache.  TinyLFU (Einziger et
+al.) fixes that with a tiny frequency sketch consulted *at admission
+time*: a candidate only displaces the would-be eviction victim when its
+estimated request frequency beats the victim's, so one-shot keys bounce
+off the full cache while genuinely hot keys still get in.
+
+:class:`FrequencySketch` is the doorkeeper: a count-min sketch (``depth``
+hash rows over a power-of-two ``width``) with conservative-increment
+updates and periodic halving, so frequencies age out and the sketch
+tracks the *recent* workload rather than all history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = ["FrequencySketch"]
+
+_SEEDS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+)
+_MASK64 = (1 << 64) - 1
+
+
+class FrequencySketch:
+    """Count-min sketch with halving decay — the admission doorkeeper.
+
+    ``width`` is rounded up to a power of two; ``reset_interval`` bounds
+    how many increments are absorbed before every counter is halved
+    (decay keeps estimates proportional to *recent* frequency — without
+    it a key hot last week would outrank today's working set forever).
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        *,
+        depth: int = 4,
+        reset_interval: int | None = None,
+    ):
+        if width < 1:
+            raise ServingError(f"sketch width must be >= 1, got {width}")
+        if not 1 <= depth <= len(_SEEDS):
+            raise ServingError(
+                f"sketch depth must be in [1, {len(_SEEDS)}], got {depth}"
+            )
+        self.width = 1 << int(np.ceil(np.log2(width)))
+        self.depth = int(depth)
+        self.reset_interval = (
+            int(reset_interval) if reset_interval is not None else 8 * self.width
+        )
+        if self.reset_interval < 1:
+            raise ServingError("reset_interval must be positive")
+        self._counters = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._increments = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    def _cells(self, key: int) -> list[int]:
+        key = (int(key) + 1) & _MASK64
+        shift = 64 - int(np.log2(self.width)) if self.width > 1 else 64
+        return [
+            ((key * _SEEDS[r]) & _MASK64) >> shift if shift < 64 else 0
+            for r in range(self.depth)
+        ]
+
+    def increment(self, key: int) -> None:
+        """Count one request for ``key`` (conservative increment)."""
+        cells = self._cells(key)
+        rows = np.arange(self.depth)
+        current = self._counters[rows, cells]
+        low = current.min()
+        # Conservative update: only the minimal cells grow, which tightens
+        # the overestimate the sketch's shared counters introduce.
+        bump = current == low
+        self._counters[rows[bump], np.asarray(cells)[bump]] += 1
+        self._increments += 1
+        if self._increments >= self.reset_interval:
+            self._counters >>= 1
+            self._increments = 0
+            self.resets += 1
+
+    def estimate(self, key: int) -> int:
+        """Estimated request count of ``key`` (an upper bound)."""
+        cells = self._cells(key)
+        return int(self._counters[np.arange(self.depth), cells].min())

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ServingError
+from repro.serving.admission import FrequencySketch
 
 __all__ = ["CacheStats", "PPVCache", "DEFAULT_EVICTION_SAMPLE"]
 
@@ -31,12 +32,19 @@ DEFAULT_EVICTION_SAMPLE = 8
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`PPVCache`."""
+    """Hit/miss/eviction counters of one :class:`PPVCache`.
+
+    ``admission_rejects`` counts inserts the TinyLFU doorkeeper turned
+    away; ``invalidations`` counts rows dropped by targeted
+    :meth:`PPVCache.invalidate` calls (live graph updates).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    admission_rejects: int = 0
+    invalidations: int = 0
 
     @property
     def requests(self) -> int:
@@ -65,6 +73,15 @@ class PPVCache:
     least-recently-used entries instead of blindly the oldest.  Without
     ``weight`` the cache is exactly the original pure-LRU byte-budgeted
     store.
+
+    ``admission`` adds a TinyLFU doorkeeper (``"tinylfu"`` for defaults,
+    or a pre-sized :class:`~repro.serving.admission.FrequencySketch`):
+    every *lookup* counts into the sketch — exactly once per access, the
+    canonical TinyLFU accounting; the serving flows always probe before
+    inserting — and an insert that would evict is admitted only if the
+    candidate's estimated frequency *beats* the would-be victim's — scan
+    resistance under adversarial one-shot streams, with rejects counted
+    in ``stats.admission_rejects``.
     """
 
     def __init__(
@@ -73,6 +90,7 @@ class PPVCache:
         *,
         weight=None,
         sample: int = DEFAULT_EVICTION_SAMPLE,
+        admission: FrequencySketch | str | None = None,
     ):
         if max_bytes <= 0:
             raise ServingError(f"cache budget must be positive, got {max_bytes}")
@@ -80,10 +98,21 @@ class PPVCache:
             raise ServingError("weight must be a callable (u, vec) -> float")
         if sample < 1:
             raise ServingError(f"eviction sample must be >= 1, got {sample}")
+        if isinstance(admission, str):
+            if admission != "tinylfu":
+                raise ServingError(
+                    f"unknown admission policy {admission!r} (known: 'tinylfu')"
+                )
+            admission = FrequencySketch()
+        if admission is not None and not isinstance(admission, FrequencySketch):
+            raise ServingError(
+                "admission must be 'tinylfu' or a FrequencySketch instance"
+            )
         self.max_bytes = int(max_bytes)
         self.current_bytes = 0
         self.weight = weight
         self.sample = int(sample)
+        self.admission = admission
         self.stats = CacheStats()
         self._store: OrderedDict[int, np.ndarray] = OrderedDict()
         self._weights: dict[int, float] = {}
@@ -98,6 +127,8 @@ class PPVCache:
 
     def get(self, u: int) -> np.ndarray | None:
         """The cached PPV of ``u`` (read-only, shared) or ``None``."""
+        if self.admission is not None:
+            self.admission.increment(u)
         arr = self._store.get(u)
         if arr is None:
             self.stats.misses += 1
@@ -123,6 +154,18 @@ class PPVCache:
             arr.flags.writeable = False
         if arr.nbytes > self.max_bytes:
             return False
+        if self.admission is not None:
+            if (
+                u not in self._store
+                and self.current_bytes + arr.nbytes > self.max_bytes
+                and len(self._store) > 0
+            ):
+                # Admission duel: the candidate must beat the entry its
+                # insert would evict, else it bounces off the full cache.
+                victim = self._peek_victim()
+                if self.admission.estimate(u) <= self.admission.estimate(victim):
+                    self.stats.admission_rejects += 1
+                    return False
         if self.weight is not None:
             w = float(self.weight(u, arr))
             if not math.isfinite(w):
@@ -167,6 +210,44 @@ class PPVCache:
                 victim, victim_w = u, w
         self._weights.pop(victim, None)
         return self._store.pop(victim)
+
+    def _peek_victim(self) -> int:
+        """The key :meth:`_evict_one` would remove next, without removing.
+
+        Mirrors the eviction policy exactly — pure LRU takes the least
+        recent entry, cost-aware takes the lightest of the ``sample``
+        least-recent candidates — so the admission duel compares the
+        candidate against the true would-be victim.
+        """
+        if self.weight is None:
+            return next(iter(self._store))
+        victim = None
+        victim_w = math.inf
+        candidates = min(self.sample, len(self._store))
+        for i, u in enumerate(self._store):
+            if i >= candidates:
+                break
+            w = self._weights[u]
+            if w < victim_w:
+                victim, victim_w = u, w
+        return victim
+
+    def invalidate(self, nodes) -> int:
+        """Drop exactly the given rows (a live update's affected sources).
+
+        Returns how many entries were actually present and removed; rows
+        of unaffected nodes stay resident — the point of the affected-
+        sources report is that a graph update never needs a full flush.
+        """
+        dropped = 0
+        for u in np.atleast_1d(np.asarray(nodes, dtype=np.int64)).tolist():
+            arr = self._store.pop(u, None)
+            if arr is not None:
+                self.current_bytes -= arr.nbytes
+                self._weights.pop(u, None)
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry (stats are kept — they describe the workload)."""

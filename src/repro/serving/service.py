@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.flat_index import DEFAULT_BATCH, topk_rows, validate_batch
+from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.errors import ServingError
 from repro.serving.adapters import as_backend
 from repro.serving.cache import PPVCache
@@ -68,13 +69,20 @@ _PENDING = object()
 
 
 class Ticket:
-    """One submitted request; resolves when its batch is flushed."""
+    """One submitted request; resolves when its batch is flushed.
 
-    __slots__ = ("node", "cached", "_value")
+    ``epoch`` is the graph version the answer was computed against —
+    tagged at resolve time from the backend's counter, so callers of a
+    live-updated service can tell exactly which epoch each response
+    reflects.
+    """
+
+    __slots__ = ("node", "cached", "epoch", "_value")
 
     def __init__(self, node: int):
         self.node = node
         self.cached = False
+        self.epoch: int | None = None
         self._value = _PENDING
 
     @property
@@ -91,8 +99,9 @@ class Ticket:
             )
         return self._value
 
-    def _resolve(self, value: np.ndarray) -> None:
+    def _resolve(self, value: np.ndarray, epoch: int = 0) -> None:
         self._value = value
+        self.epoch = int(epoch)
 
 
 @dataclass
@@ -103,6 +112,7 @@ class ServiceStats:
     cache_hits: int = 0
     batches: int = 0
     batched_queries: int = 0  # deduplicated nodes sent to the backend
+    updates: int = 0  # edge updates applied through the service
 
     @property
     def mean_batch_size(self) -> float:
@@ -147,12 +157,56 @@ class PPVService:
         self.stats = ServiceStats()
         self._pending: list[Ticket] = []
         self._deadline: float | None = None
+        self._cache_epoch = self.epoch
 
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
         """Requests waiting for the current batch window to close."""
         return len(self._pending)
+
+    @property
+    def epoch(self) -> int:
+        """The backend's current graph version (0 for static backends)."""
+        return int(getattr(self.backend, "epoch", 0))
+
+    def _sync_cache_epoch(self) -> None:
+        """Drop the whole cache if the backend's epoch moved behind our
+        back — an update applied directly to the backend (e.g. a
+        ``ShardRouter`` rollout driven outside this service) never told
+        us which rows it affected, so only a full drop is safe.  Updates
+        routed through :meth:`apply_update` invalidate precisely and keep
+        this a no-op.
+        """
+        if self.cache is not None and self.epoch != self._cache_epoch:
+            self.cache.clear()
+            self._cache_epoch = self.epoch
+
+    def apply_update(self, update: EdgeUpdate) -> UpdateReceipt:
+        """Apply one live edge update at a batch boundary.
+
+        Pending requests are flushed *first* — they were submitted
+        against the current epoch and are answered at it — then the
+        update goes through the backend (which must be mutable: an
+        :func:`~repro.serving.adapters.as_mutable_backend` wrapper, a
+        distributed runtime, or a shard router) and exactly the affected
+        rows are dropped from the service cache.  The returned receipt
+        carries the epoch subsequent answers are tagged with.
+        """
+        apply = getattr(self.backend, "apply_update", None)
+        if apply is None:
+            raise ServingError(
+                f"{self.backend!r} cannot apply updates — wrap the engine "
+                "with as_mutable_backend()"
+            )
+        self.flush()
+        self._sync_cache_epoch()
+        receipt = apply(update)
+        if self.cache is not None and receipt.changed:
+            self.cache.invalidate(receipt.affected_sources)
+        self._cache_epoch = self.epoch
+        self.stats.updates += 1
+        return receipt
 
     def submit(self, u: int) -> Ticket:
         """Enqueue one request; resolves on cache hit or at the flush.
@@ -174,13 +228,14 @@ class PPVService:
         # without ever driving poll() themselves.
         self.poll()
         self.stats.requests += 1
+        self._sync_cache_epoch()
         ticket = Ticket(u)
         if self.cache is not None:
             hit = self.cache.get(u)
             if hit is not None:
                 self.stats.cache_hits += 1
                 ticket.cached = True
-                ticket._resolve(hit)
+                ticket._resolve(hit, self.epoch)
                 return ticket
         if not self._pending:
             self._deadline = self.clock.now() + self.window
@@ -206,19 +261,30 @@ class PPVService:
     def _flush(self) -> int:
         tickets, self._pending = self._pending, []
         self._deadline = None
+        self._sync_cache_epoch()
         unique = np.unique(
             np.asarray([t.node for t in tickets], dtype=np.int64)
         )
-        out, _ = self.backend.query_many(unique)
+        out, meta = self.backend.query_many(unique)
+        base = self.epoch
+        # Mid-rollout a sharded backend serves mixed epochs: per-row
+        # metadata carries the truth, and nothing may enter the cache
+        # (epoch-untagged rows from ahead-of-epoch replicas would be
+        # served as the completed version later).
+        mixed = bool(getattr(self.backend, "rollout_in_progress", False))
         rows: dict[int, np.ndarray] = {}
+        epochs: dict[int, int] = {}
         for j, u in enumerate(unique.tolist()):
             row = out[j].copy()
             row.flags.writeable = False
             rows[u] = row
-            if self.cache is not None:
+            epochs[u] = (
+                int(getattr(meta[j], "epoch", base)) if j < len(meta) else base
+            )
+            if self.cache is not None and not mixed:
                 self.cache.put(u, row)
         for ticket in tickets:
-            ticket._resolve(rows[ticket.node])
+            ticket._resolve(rows[ticket.node], epochs[ticket.node])
         self.stats.batches += 1
         self.stats.batched_queries += int(unique.size)
         return len(tickets)
@@ -280,3 +346,35 @@ class PPVService:
         if not tickets:
             return np.zeros((0, self.backend.num_nodes))
         return np.vstack([t.result for t in tickets])
+
+    def replay(self, events) -> list:
+        """Replay a mixed query/update arrival stream deterministically.
+
+        ``events`` is an iterable of ``(arrival_seconds, item)`` pairs in
+        non-decreasing time order, where ``item`` is either a query node
+        id or an :class:`~repro.core.updates.EdgeUpdate`.  The clock (a
+        :class:`SimulatedClock`) jumps to each arrival, expired batch
+        windows flush on the way, and updates apply at batch boundaries
+        exactly as a live service would sequence them.  Returns one
+        outcome per event, in order: a resolved-or-pending
+        :class:`Ticket` for queries (all resolved by the final flush), an
+        :class:`~repro.core.updates.UpdateReceipt` for updates — each
+        tagged with the epoch it was answered/applied at.
+        """
+        if not hasattr(self.clock, "advance_to"):
+            raise ServingError("replaying arrivals needs a SimulatedClock")
+        outcomes: list = []
+        last = None
+        for t, item in events:
+            t = float(t)
+            if last is not None and t < last:
+                raise ServingError("replay arrivals must be non-decreasing")
+            last = t
+            self.clock.advance_to(t)
+            self.poll()
+            if isinstance(item, EdgeUpdate):
+                outcomes.append(self.apply_update(item))
+            else:
+                outcomes.append(self.submit(int(item)))
+        self.flush()
+        return outcomes

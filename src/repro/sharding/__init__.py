@@ -15,6 +15,7 @@ report round out the subsystem.
 """
 
 from repro.sharding.replica import Replica
+from repro.sharding.rollout import StaggeredRollout
 from repro.sharding.router import ShardRouter, ShardStats
 from repro.sharding.routing import (
     LeastLoadedPolicy,
@@ -31,6 +32,7 @@ __all__ = [
     "RouteInfo",
     "ShardRouter",
     "ShardStats",
+    "StaggeredRollout",
     "RoutingPolicy",
     "OwnerAffinityPolicy",
     "RoundRobinPolicy",

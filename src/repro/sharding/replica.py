@@ -21,7 +21,8 @@ import time
 
 import numpy as np
 
-from repro.serving.adapters import as_backend
+from repro.core.updates import EdgeUpdate, UpdateReceipt
+from repro.serving.adapters import MutableBackend, as_backend, as_mutable_backend
 
 __all__ = ["Replica"]
 
@@ -41,6 +42,27 @@ class Replica:
     @property
     def num_nodes(self) -> int:
         return self.backend.num_nodes
+
+    @property
+    def epoch(self) -> int:
+        """Graph version this replica currently serves."""
+        return int(getattr(self.backend, "epoch", 0))
+
+    # ----- updates ------------------------------------------------------
+    def apply_update(self, update: EdgeUpdate, shared=None) -> UpdateReceipt:
+        """Apply one live edge update to this replica's backend.
+
+        The backend is upgraded to a
+        :class:`~repro.serving.adapters.MutableBackend` on first use;
+        ``shared`` memoizes the index rebuild by engine identity so
+        replicas sharing one engine object (the in-process default)
+        recompute it once and flip together.
+        """
+        if not callable(getattr(self.backend, "apply_update", None)):
+            self.backend = as_mutable_backend(self.backend)
+        if isinstance(self.backend, MutableBackend):
+            return self.backend.apply_update(update, shared=shared)
+        return self.backend.apply_update(update)
 
     # ----- health -------------------------------------------------------
     def mark_down(self, *, until: float | None = None) -> None:

@@ -1,0 +1,99 @@
+"""Staggered update rollout: flip one replica per shard per wave.
+
+An immediate :meth:`~repro.sharding.router.ShardRouter.apply_update`
+updates every replica of every shard at once — correct, but each shard
+briefly has *all* of its capacity busy installing the update.  A
+:class:`StaggeredRollout` spreads the same update over waves: wave ``i``
+applies it to replica ``i`` of every shard that has one and marks that
+replica down for ``update_seconds`` of clock time, so its siblings keep
+serving their current epoch and the group never stops answering.
+
+The driver interleaves queries with :meth:`StaggeredRollout.step` calls
+(advancing the shared :class:`~repro.serving.service.SimulatedClock`
+between waves); routing away from the mid-update replica is the shard's
+ordinary deterministic failover, so a replay is byte-identical run to
+run.  Mid-rollout a shard may serve *both* epochs — every answer's
+:class:`~repro.sharding.shard.RouteInfo` carries the epoch of the
+replica that produced it, and the per-shard caches drop the affected
+rows at wave 0 and bypass those nodes until the rollout completes
+(unaffected rows are identical at both epochs and keep serving from
+cache).  The router's own epoch advances only when the last wave lands —
+it counts *completed* versions.
+"""
+
+from __future__ import annotations
+
+from repro.core.updates import EdgeUpdate, UpdateReceipt
+from repro.errors import ShardingError
+
+__all__ = ["StaggeredRollout"]
+
+
+class StaggeredRollout:
+    """Wave-by-wave fan-out of one edge update across a shard router."""
+
+    def __init__(self, router, update: EdgeUpdate, update_seconds: float):
+        if update_seconds < 0:
+            raise ShardingError(
+                f"update_seconds must be >= 0, got {update_seconds}"
+            )
+        self.router = router
+        self.update = update
+        self.update_seconds = float(update_seconds)
+        self.waves = max(len(shard.replicas) for shard in router.shards)
+        self.wave = 0
+        self.receipt: UpdateReceipt | None = None
+        self._shared: dict = {}
+
+    @property
+    def done(self) -> bool:
+        return self.wave >= self.waves
+
+    def step(self) -> UpdateReceipt:
+        """Apply the update to the next wave's replicas (one per shard).
+
+        Returns the update receipt stamped with the router's *completed*
+        epoch — the old one until the final wave, the new one after it.
+        """
+        if self.done:
+            raise ShardingError("rollout already complete")
+        i = self.wave
+        first = self.receipt is None
+        for shard in self.router.shards:
+            if i >= len(shard.replicas):
+                continue
+            receipt = shard.apply_update(self.update, self._shared, replica=i)
+            if self.receipt is None:
+                self.receipt = receipt
+            if receipt.changed and self.update_seconds > 0:
+                shard.mark_down(i, for_seconds=self.update_seconds)
+        assert self.receipt is not None
+        if not self.receipt.changed:
+            # No-op update (duplicate insert / missing delete): nothing to
+            # roll out, nothing to hold, no epoch to bump.
+            self.wave = self.waves
+            self.router._rollout = None
+            return self.receipt.at_epoch(self.router.epoch)
+        if first:
+            for shard in self.router.shards:
+                shard.begin_hold(self.receipt.affected_sources)
+        self.wave += 1
+        if self.done:
+            for shard in self.router.shards:
+                shard.release_hold()
+            self.router.epoch += 1
+            self.router._rollout = None
+        return self.receipt.at_epoch(self.router.epoch)
+
+    def run(self) -> UpdateReceipt:
+        """Drive the remaining waves back to back (no serving between
+        them) — the degenerate rollout used when nothing queries mid-way."""
+        receipt = None
+        while not self.done:
+            receipt = self.step()
+        return receipt
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StaggeredRollout {self.update} wave {self.wave}/{self.waves}>"
+        )

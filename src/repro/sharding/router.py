@@ -31,11 +31,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.flat_index import DEFAULT_BATCH, validate_batch
+from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
 from repro.errors import QueryError, ShardingError
 from repro.serving.adapters import QueryBackend
 from repro.serving.cache import CacheStats, PPVCache
 from repro.serving.service import SystemClock
+from repro.sharding.rollout import StaggeredRollout
 from repro.sharding.routing import resolve_policy
 from repro.sharding.shard import RouteInfo, Shard
 
@@ -147,6 +149,53 @@ class ShardRouter(QueryBackend):
         super().__init__(engine=None, num_nodes=sizes.pop())
         self.policy = resolve_policy(policy, owner_map)
         self.batches = 0
+        self.epoch = 0
+        self._rollout: StaggeredRollout | None = None
+
+    # ----- live updates -------------------------------------------------
+    @property
+    def rollout_in_progress(self) -> bool:
+        """Whether a staggered rollout is mid-flight (answers may mix
+        epochs; frontends must not cache epoch-untagged rows)."""
+        return self._rollout is not None and not self._rollout.done
+
+    def apply_update(self, update: EdgeUpdate) -> UpdateReceipt:
+        """Fan one edge update to every replica of every shard at once.
+
+        Shared engine objects are updated a single time (replicas rebind
+        to the successor index), per-shard caches drop exactly the
+        affected rows, update messages are metered on each router↔shard
+        link, and the router epoch bumps when anything changed.  Use
+        :meth:`begin_rollout` instead to keep every shard serving while
+        replicas flip one wave at a time.
+        """
+        if self._rollout is not None and not self._rollout.done:
+            raise ShardingError(
+                "a staggered rollout is in progress — finish it before "
+                "applying further updates"
+            )
+        shared: dict = {}
+        receipt: UpdateReceipt | None = None
+        for shard in self.shards:
+            receipt = shard.apply_update(update, shared)
+        if receipt.changed:
+            self.epoch += 1
+        return receipt.at_epoch(self.epoch)
+
+    def begin_rollout(
+        self, update: EdgeUpdate, *, update_seconds: float = 0.0
+    ) -> StaggeredRollout:
+        """Start a staggered rollout of ``update``: each
+        :meth:`~repro.sharding.rollout.StaggeredRollout.step` flips one
+        replica per shard and routes traffic away from it for
+        ``update_seconds`` of clock time, so the group keeps serving
+        (shards need ≥ 2 replicas for that).  Queries interleaved between
+        waves are answered at the epoch of whichever replica serves them
+        — see :class:`~repro.sharding.shard.RouteInfo`."""
+        if self._rollout is not None and not self._rollout.done:
+            raise ShardingError("a staggered rollout is already in progress")
+        self._rollout = StaggeredRollout(self, update, update_seconds)
+        return self._rollout
 
     # ----- failover convenience ----------------------------------------
     def mark_down(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.flat_index import DEFAULT_BATCH, topk_in_batches, validate_batch
+from repro.core.updates import UPDATE_WIRE_BYTES, EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
 from repro.errors import ShardingError
 from repro.serving.cache import PPVCache
@@ -38,12 +39,16 @@ class RouteInfo:
     """Per-query routing record returned as ``query_many`` metadata.
 
     ``replica`` is ``-1`` for rows answered from the shard's cache
-    (no replica did any work).
+    (no replica did any work).  ``epoch`` is the graph version of the
+    answer — the serving replica's epoch, or the shard's completed epoch
+    for cache hits; mid-rollout it tells exactly which version each row
+    reflects.
     """
 
     shard: int
     replica: int
     cached: bool
+    epoch: int = 0
 
 
 class Shard:
@@ -79,6 +84,51 @@ class Shard:
         self.clock = clock if clock is not None else SystemClock()
         self.queries = 0  # rows served, cached or computed
         self.batches = 0
+        self._held: set[int] | None = None
+
+    # ----- updates ------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The shard's *completed* graph version: the minimum across its
+        replicas (mid-rollout some replicas run ahead)."""
+        return min(r.epoch for r in self.replicas)
+
+    def apply_update(
+        self, update: EdgeUpdate, shared=None, *, replica: int | None = None
+    ) -> UpdateReceipt:
+        """Fan one edge update to every replica (or just ``replica`` for a
+        staggered-rollout wave), metering the update messages.
+
+        When the whole group updated at once, the affected rows are
+        dropped from the shard cache immediately; a staggered rollout
+        manages cache validity itself via :meth:`begin_hold` /
+        :meth:`release_hold`.
+        """
+        targets = (
+            self.replicas if replica is None else [self.replicas[replica]]
+        )
+        receipt: UpdateReceipt | None = None
+        for rep in targets:
+            receipt = rep.apply_update(update, shared)
+            self.meter.record(
+                "router", f"shard-{self.shard_id}", UPDATE_WIRE_BYTES
+            )
+        if replica is None and receipt.changed and self.cache is not None:
+            self.cache.invalidate(receipt.affected_sources)
+        return receipt
+
+    def begin_hold(self, nodes: np.ndarray) -> None:
+        """Enter mid-rollout mode for the given affected nodes: their
+        cached rows are dropped now and they bypass the cache (no lookups,
+        no inserts) until :meth:`release_hold` — replicas at different
+        epochs must not share rows through it.  Unaffected rows are
+        identical at both epochs and keep serving from cache."""
+        self._held = {int(x) for x in np.atleast_1d(np.asarray(nodes)).tolist()}
+        if self.cache is not None:
+            self.cache.invalidate(nodes)
+
+    def release_hold(self) -> None:
+        self._held = None
 
     # ----- failover -----------------------------------------------------
     def _now(self) -> float:
@@ -111,18 +161,24 @@ class Shard:
 
     # ----- serving ------------------------------------------------------
     def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
-        """Dense rows for ``nodes`` via cache + chosen replica (unmetered)."""
+        """Dense rows for ``nodes`` via cache + chosen replica (unmetered).
+
+        Rows are epoch-tagged: cache hits carry the shard's completed
+        epoch, computed rows the serving replica's.  Nodes under a
+        mid-rollout hold bypass the cache in both directions.
+        """
         out = np.empty((nodes.size, self.num_nodes))
         infos: list[RouteInfo | None] = [None] * nodes.size
+        held = self._held if self._held is not None else ()
         miss_rows: list[int] = []
         if self.cache is not None:
             for i, u in enumerate(nodes.tolist()):
-                hit = self.cache.get(u)
+                hit = None if u in held else self.cache.get(u)
                 if hit is None:
                     miss_rows.append(i)
                 else:
                     out[i] = hit
-                    infos[i] = RouteInfo(self.shard_id, -1, True)
+                    infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
         else:
             miss_rows = list(range(nodes.size))
         if miss_rows:
@@ -132,9 +188,13 @@ class Shard:
             dense, _ = replica.query_many(unique)
             out[rows] = dense[inverse]
             for i in miss_rows:
-                infos[i] = RouteInfo(self.shard_id, replica.replica_id, False)
+                infos[i] = RouteInfo(
+                    self.shard_id, replica.replica_id, False, replica.epoch
+                )
             if self.cache is not None:
                 for j, u in enumerate(unique.tolist()):
+                    if u in held:
+                        continue
                     row = dense[j].copy()
                     row.flags.writeable = False
                     self.cache.put(u, row)

@@ -11,7 +11,7 @@ from repro.core import (
     power_iteration_ppv,
     save_hgpa_index,
 )
-from repro.errors import GraphError, QueryError, SerializationError
+from repro.errors import GraphError, SerializationError
 from repro.graph import hierarchical_community_digraph
 from repro.metrics import l_inf
 
@@ -214,10 +214,16 @@ class TestInsertEdge:
         assert l_inf(update_index.query(u), ref) < EXACT_ATOL
 
     def test_bad_endpoints(self, update_index):
-        with pytest.raises(QueryError):
+        """Out-of-range endpoints are graph errors naming the edge, in
+        both directions and for both operations."""
+        with pytest.raises(GraphError, match=r"edge \(-1, 0\): source"):
             insert_edge(update_index, -1, 0)
-        with pytest.raises(QueryError):
+        with pytest.raises(GraphError, match=r"edge \(0, 10000\): target"):
             insert_edge(update_index, 0, 10_000)
+        with pytest.raises(GraphError, match=r"edge \(10000, 0\): source"):
+            delete_edge(update_index, 10_000, 0)
+        with pytest.raises(GraphError, match=r"edge \(0, -3\): target"):
+            delete_edge(update_index, 0, -3)
 
     def test_chained_updates_stay_exact(self, update_index):
         rng = np.random.default_rng(3)

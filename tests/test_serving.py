@@ -14,6 +14,7 @@ from repro.distributed import DistributedGPA, DistributedHGPA
 from repro.errors import QueryError, ServingError
 from repro.metrics import top_k_nodes
 from repro.serving import (
+    FrequencySketch,
     PPVCache,
     PPVService,
     QueryBackend,
@@ -178,6 +179,122 @@ class TestPPVCache:
             PPVCache(1 << 20, weight=42)
         with pytest.raises(ServingError):
             PPVCache(1 << 20, sample=0)
+
+
+# ----------------------------------------------------------------------
+class TestCacheInvalidate:
+    def test_drops_exactly_the_given_rows(self):
+        cache = PPVCache(1 << 20)
+        for u in range(6):
+            cache.put(u, _ppv_row(16))
+        before = cache.current_bytes
+        dropped = cache.invalidate([1, 3, 99])  # 99 was never cached
+        assert dropped == 2
+        assert cache.stats.invalidations == 2
+        assert 1 not in cache and 3 not in cache
+        for u in (0, 2, 4, 5):
+            assert u in cache
+        assert cache.current_bytes == before - 2 * 16 * 8
+
+    def test_invalidate_does_not_touch_hit_miss_stats(self):
+        cache = PPVCache(1 << 20)
+        cache.put(0, _ppv_row(8))
+        cache.invalidate([0])
+        assert cache.stats.requests == 0
+
+    def test_scalar_and_empty_inputs(self):
+        cache = PPVCache(1 << 20)
+        cache.put(7, _ppv_row(8))
+        assert cache.invalidate(7) == 1
+        assert cache.invalidate(np.empty(0, dtype=np.int64)) == 0
+
+
+# ----------------------------------------------------------------------
+class TestTinyLFUAdmission:
+    def _full_cache(self, rows=4, n=32, **kwargs):
+        """A cache exactly full with ``rows`` hot entries."""
+        cache = PPVCache(rows * n * 8, admission="tinylfu", **kwargs)
+        for u in range(rows):
+            cache.put(u, _ppv_row(n))
+        return cache, n
+
+    def test_one_shot_scan_cannot_flush_hot_entries(self):
+        cache, n = self._full_cache()
+        for _ in range(5):  # make the resident set hot
+            for u in range(4):
+                cache.get(u)
+        for w in range(100, 140):  # adversarial one-shot stream
+            cache.get(w)
+            cache.put(w, _ppv_row(n))
+        for u in range(4):
+            assert u in cache  # scan resistance: hot set survives
+        assert cache.stats.admission_rejects == 40
+        assert cache.stats.evictions == 0
+
+    def test_frequent_candidate_beats_cold_victim(self):
+        cache, n = self._full_cache()
+        hot = 77
+        for _ in range(3):
+            cache.get(hot)  # builds frequency before ever being admitted
+        assert cache.put(hot, _ppv_row(n))
+        assert hot in cache
+        assert cache.stats.evictions == 1
+
+    def test_admission_only_guards_evictions(self):
+        cache = PPVCache(1 << 20, admission="tinylfu")
+        assert cache.put(5, _ppv_row(8))  # plenty of room: always admitted
+        assert cache.put(5, _ppv_row(8))  # replacing a resident key too
+        assert cache.stats.admission_rejects == 0
+
+    def test_works_with_cost_aware_eviction(self):
+        n = 16
+        cache = PPVCache(
+            2 * n * 8, admission="tinylfu", weight=lambda u, vec: float(u)
+        )
+        cache.put(9, _ppv_row(n))
+        cache.put(4, _ppv_row(n))
+        for _ in range(4):
+            cache.get(9), cache.get(4)
+        cache.get(50)
+        assert not cache.put(50, _ppv_row(n))  # duel vs the *cheapest* entry
+        assert cache.stats.admission_rejects == 1
+
+    def test_custom_sketch_and_bad_policy(self):
+        sketch = FrequencySketch(64, depth=2, reset_interval=16)
+        cache = PPVCache(1 << 20, admission=sketch)
+        cache.get(3)
+        assert sketch.estimate(3) == 1
+        with pytest.raises(ServingError, match="unknown admission"):
+            PPVCache(1 << 20, admission="lfu")
+        with pytest.raises(ServingError):
+            PPVCache(1 << 20, admission=object())
+
+    def test_sketch_aging_halves_counters(self):
+        sketch = FrequencySketch(16, reset_interval=8)
+        for _ in range(7):
+            sketch.increment(1)
+        assert sketch.estimate(1) == 7
+        sketch.increment(1)  # 8th increment triggers the halving
+        assert sketch.resets == 1
+        assert sketch.estimate(1) == 4
+
+    def test_sketch_estimate_upper_bounds_truth(self):
+        sketch = FrequencySketch(256)
+        rng = np.random.default_rng(0)
+        truth: dict[int, int] = {}
+        for key in rng.integers(0, 50, size=400).tolist():
+            sketch.increment(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_bad_sketch_config_rejected(self):
+        with pytest.raises(ServingError):
+            FrequencySketch(0)
+        with pytest.raises(ServingError):
+            FrequencySketch(16, depth=9)
+        with pytest.raises(ServingError):
+            FrequencySketch(16, reset_interval=0)
 
 
 # ----------------------------------------------------------------------
