@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.decomposition import as_view, partial_vectors
 from repro.core.flat_index import (
@@ -29,6 +30,7 @@ from repro.core.flat_index import (
     topk_in_batches,
     validate_batch,
 )
+from repro.core.sparse_ops import finalize_csr
 from repro.core.sparsevec import SparseVec
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.analysis import top_pagerank_nodes
@@ -117,6 +119,7 @@ class FastPPVIndex:
         *,
         max_expansions: int | None = None,
         frontier_cutoff: float | None = None,
+        collect_stats: bool = True,
     ) -> tuple[np.ndarray, list[FastPPVQueryInfo]]:
         """Batched approximate PPVs.
 
@@ -124,7 +127,9 @@ class FastPPVIndex:
         batched selective expansion (with per-column convergence, so each
         row equals the per-node :meth:`query` result exactly); the
         scheduled frontier expansion then runs per query.  Returns a
-        dense ``(len(nodes), n)`` matrix plus per-query diagnostics.
+        dense ``(len(nodes), n)`` matrix plus per-query diagnostics
+        (``collect_stats=False`` skips the per-query timing/diagnostic
+        objects and returns an empty list; the matrix is identical).
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
@@ -137,6 +142,7 @@ class FastPPVIndex:
                     chunk,
                     max_expansions=max_expansions,
                     frontier_cutoff=frontier_cutoff,
+                    collect_stats=collect_stats,
                 ),
                 nodes,
             )
@@ -159,14 +165,41 @@ class FastPPVIndex:
                 acc, e[:, j], max_expansions, frontier_cutoff
             )
             out[j] = acc
-            infos.append(
-                FastPPVQueryInfo(
-                    expansions=expansions,
-                    residual_mass=residual,
-                    wall_seconds=solve_each + time.perf_counter() - t1,
+            if collect_stats:
+                infos.append(
+                    FastPPVQueryInfo(
+                        expansions=expansions,
+                        residual_mass=residual,
+                        wall_seconds=solve_each + time.perf_counter() - t1,
+                    )
                 )
-            )
         return out, infos
+
+    def query_many_sparse(
+        self,
+        nodes,
+        *,
+        max_expansions: int | None = None,
+        frontier_cutoff: float | None = None,
+        collect_stats: bool = True,
+    ) -> tuple[sp.csr_matrix, list[FastPPVQueryInfo]]:
+        """Batched approximate PPVs as a CSR ``(len(nodes), n)`` matrix.
+
+        FastPPV's query-time solve is inherently dense (the selective
+        expansion works on full columns), so the sparse form is a
+        post-solve conversion for pipeline uniformity — exact zeros are
+        dropped, every kept value is bitwise the dense row's.  The
+        memory wins of the sparse pipeline come from the pruned exact
+        indexes; this keeps FastPPV servable behind the same
+        ``query_many_sparse`` capability.
+        """
+        dense, infos = self.query_many(
+            nodes,
+            max_expansions=max_expansions,
+            frontier_cutoff=frontier_cutoff,
+            collect_stats=collect_stats,
+        )
+        return finalize_csr(sp.csr_matrix(dense), dense.shape), infos
 
     def query_topk(
         self,

@@ -116,8 +116,17 @@ def hgpa_index(
 
 
 @lru_cache(maxsize=None)
-def gpa_index(dataset: str, parts: int, *, tol: float = 1e-4, seed: int = 0) -> GPAIndex:
-    return build_gpa_index(datasets.load(dataset), parts, tol=tol, seed=seed)
+def gpa_index(
+    dataset: str,
+    parts: int,
+    *,
+    tol: float = 1e-4,
+    prune: float | None = None,
+    seed: int = 0,
+) -> GPAIndex:
+    return build_gpa_index(
+        datasets.load(dataset), parts, tol=tol, prune=prune, seed=seed
+    )
 
 
 @lru_cache(maxsize=None)

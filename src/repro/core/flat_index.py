@@ -25,6 +25,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.decomposition import as_view, partial_vectors, skeleton_columns
+from repro.core.sparse_ops import (
+    finalize_csr,
+    point_matrix,
+    rows_matrix,
+    scaled_transpose_csc,
+    subtract_at,
+    topk_rows_sparse,
+    weight_row_stats,
+)
 from repro.core.sparsevec import SparseVec
 from repro.errors import QueryError
 from repro.metrics.ranking import top_k_nodes
@@ -42,6 +51,7 @@ __all__ = [
     "validate_batch",
     "run_in_batches",
     "topk_rows",
+    "topk_rows_reference",
     "topk_in_batches",
 ]
 
@@ -155,11 +165,20 @@ def topk_rows(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-row top-k of a ``(rows, n)`` matrix: ``(ids, scores)`` pairs.
 
-    Each row is :func:`repro.metrics.top_k_nodes` — one selection
-    algorithm, one tie contract (best first, ties by smaller id, also at
-    the k boundary, so the result is deterministic even on vectors full
-    of equal entries, e.g. pruned PPVs' exact zeros).  ``k`` is clamped
-    to the row length.
+    One batched selection over the whole chunk, preserving the
+    :func:`repro.metrics.top_k_nodes` tie contract exactly (best first,
+    ties by smaller id, also at the k boundary, so the result is
+    deterministic even on vectors full of equal entries, e.g. pruned
+    PPVs' exact zeros — :func:`topk_rows_reference` is the per-row
+    oracle).  ``k`` is clamped to the row length.
+
+    The chunk-wide evaluation: one ``argpartition`` finds each row's kth
+    score; entries strictly above it are in by value, and the tied group
+    at the boundary is resolved by a cumulative count over ascending
+    ids — exactly the smallest tied ids fill the remaining slots.  A
+    final stable sort of the k selected columns per row (descending
+    score; stability keeps the ascending-id tie order) yields the
+    contract ordering without any per-row Python.
 
     ``threshold`` drops entries with ``score <= threshold`` before the
     k-cut; the arrays keep their ``(rows, k)`` shape, with surviving
@@ -167,6 +186,42 @@ def topk_rows(
     ``0.0``.  (Because scores are sorted descending, dropping the weak
     entries first and cutting at ``k`` leaves exactly that prefix.)
     """
+    rows, n = dense.shape
+    k = min(k, n)
+    if k <= 0 or rows == 0:
+        return (
+            np.empty((rows, max(k, 0)), dtype=np.int64),
+            np.empty((rows, max(k, 0))),
+        )
+    part = np.argpartition(-dense, k - 1, axis=1)
+    kth = np.take_along_axis(dense, part[:, k - 1 : k], axis=1)
+    greater = dense > kth
+    num_greater = greater.sum(axis=1, keepdims=True)
+    tied = dense == kth
+    # Among the tied group, the smallest ids take the remaining slots.
+    # (int32 cumsum: counts are bounded by n < 2^31, and the temporary is
+    # the largest allocation here — half the footprint of the default.)
+    take_tied = tied & (
+        np.cumsum(tied, axis=1, dtype=np.int32) <= (k - num_greater)
+    )
+    sel = greater | take_tied  # exactly k True per row
+    cols = np.nonzero(sel)[1].reshape(rows, k)  # ascending ids per row
+    vals = np.take_along_axis(dense, cols, axis=1)
+    order = np.argsort(-vals, axis=1, kind="stable")
+    ids = np.take_along_axis(cols, order, axis=1)
+    scores = np.take_along_axis(vals, order, axis=1)
+    if threshold is not None:
+        dropped = scores <= threshold
+        ids[dropped] = -1
+        scores[dropped] = 0.0
+    return ids, scores
+
+
+def topk_rows_reference(
+    dense: np.ndarray, k: int, *, threshold: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-by-row :func:`repro.metrics.top_k_nodes` — the pre-vectorised
+    implementation, kept as the correctness oracle for :func:`topk_rows`."""
     rows, n = dense.shape
     k = min(k, n)
     if k <= 0 or rows == 0:
@@ -196,14 +251,16 @@ def topk_in_batches(
 ) -> tuple[np.ndarray, np.ndarray, list]:
     """Chunked top-k reduction over a ``query_many``-style callable.
 
-    Evaluates ``batch`` queries at a time and reduces each dense chunk to
-    its per-row top-k immediately, so the full ``(len(nodes), n)`` matrix
+    Evaluates ``batch`` queries at a time and reduces each chunk to its
+    per-row top-k immediately, so the full ``(len(nodes), n)`` matrix
     is never materialised — only the ``(len(nodes), k)`` ids/scores and
-    one ``(batch, n)`` chunk live at once.  This is the shared engine
-    behind every index family's ``query_many_topk`` and the serving
-    adapters for the distributed runtimes.  ``threshold`` applies the
-    :func:`topk_rows` score cut (``score <= threshold`` dropped, tail
-    padded with id ``-1`` / score ``0.0``).
+    one chunk live at once.  This is the shared engine behind every
+    index family's ``query_many_topk`` and the serving adapters for the
+    distributed runtimes.  A ``query_many_fn`` returning a *sparse*
+    chunk (a ``query_many_sparse`` path) is reduced with the exact
+    sparse top-k instead — no dense chunk is ever built.  ``threshold``
+    applies the :func:`topk_rows` score cut (``score <= threshold``
+    dropped, tail padded with id ``-1`` / score ``0.0``).
     """
     if k <= 0:
         raise QueryError("k must be positive")
@@ -214,8 +271,9 @@ def topk_in_batches(
     step = max(1, batch)
     for lo in range(0, nodes.size, step):
         sl = slice(lo, min(lo + step, nodes.size))
-        dense, meta = query_many_fn(nodes[sl])
-        ids[sl], scores[sl] = topk_rows(dense, k_eff, threshold=threshold)
+        chunk, meta = query_many_fn(nodes[sl])
+        reduce = topk_rows_sparse if sp.issparse(chunk) else topk_rows
+        ids[sl], scores[sl] = reduce(chunk, k_eff, threshold=threshold)
         metas.extend(meta)
     return ids, scores, metas
 
@@ -282,7 +340,9 @@ class FlatPPVIndex:
         _, skel_csr, _ = self._ops()
         return hub_weights(skel_csr, self.hubs, u, self.alpha)
 
-    def _add_own_term(self, u: int, acc: np.ndarray, stats: QueryStats) -> None:
+    def _add_own_term(
+        self, u: int, acc: np.ndarray, stats: QueryStats | None
+    ) -> None:
         """The ``p_u`` base term of Eq. 4 (plus hub un-adjustment)."""
         if self.is_hub(u):
             own = self.hub_partials[u]
@@ -291,8 +351,9 @@ class FlatPPVIndex:
         else:
             own = self.node_partials[u]
             own.add_into(acc)
-        stats.entries_processed += own.nnz
-        stats.vectors_used += 1
+        if stats is not None:
+            stats.entries_processed += own.nnz
+            stats.vectors_used += 1
 
     def query(self, u: int) -> np.ndarray:
         """Exact PPV of node ``u`` (dense)."""
@@ -318,7 +379,11 @@ class FlatPPVIndex:
         return acc, stats
 
     def query_many(
-        self, nodes, *, batch: int | None = DEFAULT_BATCH
+        self,
+        nodes,
+        *,
+        batch: int | None = DEFAULT_BATCH,
+        collect_stats: bool = True,
     ) -> tuple[np.ndarray, list[QueryStats]]:
         """Batched exact PPVs: one sparse matmul per ``batch`` queries.
 
@@ -326,11 +391,14 @@ class FlatPPVIndex:
         PPV of ``nodes[k]``, plus per-query work counters.  ``batch``
         bounds the dense intermediate at ``batch × n`` floats (``None``
         processes the whole request in one product).
+        ``collect_stats=False`` skips the per-query counter bookkeeping
+        (the serving hot path) and returns an empty metadata list; the
+        result matrix is identical.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
         out = np.zeros((nodes.size, n))
-        stats = [QueryStats() for _ in range(nodes.size)]
+        stats = [QueryStats() for _ in range(nodes.size)] if collect_stats else []
         if nodes.size == 0:
             return out, stats
         step = nodes.size if batch is None else max(1, batch)
@@ -344,17 +412,112 @@ class FlatPPVIndex:
                 hub_rows, pos = find_sorted(self.hubs, chunk)
                 weights[hub_rows, pos[hub_rows]] -= self.alpha
                 out[sl] = (part_csc @ (weights.T * inv_alpha)).T
-                used = weights != 0.0
-                counts = used.sum(axis=1)
-                entries = used.astype(np.int64) @ nnz_per_hub
-                for k in range(chunk.size):
-                    s = stats[lo + k]
-                    s.skeleton_lookups = int(self.hubs.size)
-                    s.vectors_used = int(counts[k])
-                    s.entries_processed = int(entries[k])
+                if collect_stats:
+                    used = weights != 0.0
+                    counts = used.sum(axis=1)
+                    entries = used.astype(np.int64) @ nnz_per_hub
+                    for k in range(chunk.size):
+                        s = stats[lo + k]
+                        s.skeleton_lookups = int(self.hubs.size)
+                        s.vectors_used = int(counts[k])
+                        s.entries_processed = int(entries[k])
             for k, u in enumerate(chunk.tolist()):
-                self._add_own_term(u, out[lo + k], stats[lo + k])
+                self._add_own_term(
+                    u, out[lo + k], stats[lo + k] if collect_stats else None
+                )
         return out, stats
+
+    def query_many_sparse(
+        self,
+        nodes,
+        *,
+        batch: int | None = DEFAULT_BATCH,
+        collect_stats: bool = True,
+    ) -> tuple[sp.csr_matrix, list[QueryStats]]:
+        """Batched exact PPVs as a CSR ``(len(nodes), n)`` matrix.
+
+        The sparse twin of :meth:`query_many`: the hub combination is a
+        sparse×sparse product (``part_csc @ sparse_weights``) and own
+        terms are sparse row adds, so no ``batch × n`` dense
+        intermediate ever exists — on pruned indexes the peak footprint
+        is proportional to the result's true support.  Agrees with the
+        dense path exactly (``toarray()`` equality; same accumulation
+        order, see :mod:`repro.core.sparse_ops`), with identical work
+        counters.
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        stats = [QueryStats() for _ in range(nodes.size)] if collect_stats else []
+        if nodes.size == 0:
+            return sp.csr_matrix((0, n)), stats
+        step = nodes.size if batch is None else max(1, batch)
+        inv_alpha = 1.0 / self.alpha
+        part_csc, skel_csr, nnz_per_hub = self._ops()
+        chunks = []
+        for lo in range(0, nodes.size, step):
+            sl = slice(lo, min(lo + step, nodes.size))
+            chunk = nodes[sl]
+            if self.hubs.size:
+                hub_rows, pos = find_sorted(self.hubs, chunk)
+                weights = subtract_at(
+                    skel_csr[chunk], hub_rows, pos[hub_rows], self.alpha
+                )
+                level = part_csc @ scaled_transpose_csc(weights, inv_alpha)
+                level.sort_indices()
+                rows = level.T.tocsr()
+                if collect_stats:
+                    counts, entries = weight_row_stats(weights, nnz_per_hub)
+                    for k in range(chunk.size):
+                        s = stats[lo + k]
+                        s.skeleton_lookups = int(self.hubs.size)
+                        s.vectors_used = int(counts[k])
+                        s.entries_processed = int(entries[k])
+            else:
+                rows = sp.csr_matrix((chunk.size, n))
+            own, alpha_pts = self._own_term_matrix(
+                chunk, stats[sl] if collect_stats else None
+            )
+            rows = rows + own
+            if alpha_pts is not None:
+                rows = rows + alpha_pts
+            chunks.append(rows)
+        out = chunks[0] if len(chunks) == 1 else sp.vstack(chunks, format="csr")
+        return finalize_csr(out, (nodes.size, n)), stats
+
+    def _own_term_matrix(
+        self, chunk: np.ndarray, stats: list[QueryStats] | None
+    ) -> tuple[sp.csr_matrix, sp.csr_matrix | None]:
+        """Sparse own-term rows of a chunk plus the hub ``+α`` points.
+
+        The α un-adjustment is a *separate* matrix so the per-entry
+        addition order matches the dense path exactly:
+        ``(matmul + own) + α``, never ``matmul + (own + α)``.
+        """
+        n = self.graph.num_nodes
+        vecs: list[SparseVec] = []
+        alpha_rows: list[int] = []
+        alpha_cols: list[int] = []
+        for k, u in enumerate(chunk.tolist()):
+            if self.is_hub(u):
+                own = self.hub_partials[u]
+                alpha_rows.append(k)
+                alpha_cols.append(u)
+            else:
+                own = self.node_partials[u]
+            vecs.append(own)
+            if stats is not None:
+                stats[k].entries_processed += own.nnz
+                stats[k].vectors_used += 1
+        own_mat = rows_matrix(vecs, n)
+        alpha_pts = None
+        if alpha_rows:
+            alpha_pts = point_matrix(
+                np.asarray(alpha_rows),
+                np.asarray(alpha_cols),
+                np.full(len(alpha_rows), self.alpha),
+                (chunk.size, n),
+            )
+        return own_mat, alpha_pts
 
     def query_topk(
         self, u: int, k: int, *, threshold: float | None = None

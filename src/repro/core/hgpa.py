@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.decomposition import partial_vectors, skeleton_columns
 from repro.core.flat_index import (
@@ -36,6 +37,17 @@ from repro.core.flat_index import (
     stack_columns,
     topk_in_batches,
     validate_batch,
+)
+from repro.core.sparse_ops import (
+    finalize_csr,
+    fold_depth_blocks,
+    point_matrix,
+    rows_matrix,
+    scaled_transpose_csc,
+    sparse_in_batches,
+    subtract_at,
+    weight_row_stats,
+    zero_rows_in_columns,
 )
 from repro.core.sparsevec import SparseVec
 from repro.errors import IndexBuildError, QueryError
@@ -127,7 +139,9 @@ class HGPAIndex:
         """Drop the stacked-matrix caches (call after mutating the stores)."""
         self._level_ops_cache.clear()
 
-    def query_many(self, nodes) -> tuple[np.ndarray, list[QueryStats]]:
+    def query_many(
+        self, nodes, *, collect_stats: bool = True
+    ) -> tuple[np.ndarray, list[QueryStats]]:
         """Batched exact PPVs (Eq. 6): one sparse matmul per level group.
 
         Queries are grouped by the hierarchy subgraphs their chains
@@ -135,14 +149,22 @@ class HGPAIndex:
         slice and its level term from one ``CSC @ weights`` product, so
         the per-hub work is shared across the whole batch.  Returns a
         dense ``(len(nodes), n)`` matrix plus per-query work counters.
+        ``collect_stats=False`` skips the per-query counter bookkeeping
+        (pure overhead on the serving hot path) and returns an empty
+        metadata list; the result matrix is identical.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
         if nodes.size > DEFAULT_BATCH:
             # Bound the dense (n, batch) accumulator.
-            return run_in_batches(self.query_many, nodes)
-        stats = [QueryStats() for _ in range(nodes.size)]
-        order, members, hub_flags = _chain_membership(self.hierarchy, nodes)
+            return run_in_batches(
+                lambda chunk: self.query_many(
+                    chunk, collect_stats=collect_stats
+                ),
+                nodes,
+            )
+        stats = [QueryStats() for _ in range(nodes.size)] if collect_stats else []
+        order, members, hub_flags, _ = _chain_membership(self.hierarchy, nodes)
         ordered = nodes[order]
         acc = np.zeros((n, nodes.size))  # level terms, ordered columns
         inv_alpha = 1.0 / self.alpha
@@ -166,14 +188,15 @@ class HGPAIndex:
                 # query_detailed).
                 level[np.ix_(hubs, rest)] = raw[rest].T
             acc[:, lo:hi] += level
-            used = weights != 0.0
-            counts = used.sum(axis=1)
-            entries = used.astype(np.int64) @ nnz_per_hub
-            for k in range(hi - lo):
-                s = stats[order[lo + k]]
-                s.skeleton_lookups += int(hubs.size)
-                s.vectors_used += int(counts[k])
-                s.entries_processed += int(entries[k])
+            if collect_stats:
+                used = weights != 0.0
+                counts = used.sum(axis=1)
+                entries = used.astype(np.int64) @ nnz_per_hub
+                for k in range(hi - lo):
+                    s = stats[order[lo + k]]
+                    s.skeleton_lookups += int(hubs.size)
+                    s.vectors_used += int(counts[k])
+                    s.entries_processed += int(entries[k])
         out = np.empty((nodes.size, n))
         out[order] = acc.T
         for qpos, u in enumerate(nodes.tolist()):
@@ -184,9 +207,123 @@ class HGPAIndex:
             else:
                 own = self.leaf_ppv[u]
                 own.add_into(out[qpos])
-            stats[qpos].entries_processed += own.nnz
-            stats[qpos].vectors_used += 1
+            if collect_stats:
+                stats[qpos].entries_processed += own.nnz
+                stats[qpos].vectors_used += 1
         return out, stats
+
+    def query_many_sparse(
+        self, nodes, *, collect_stats: bool = True
+    ) -> tuple[sp.csr_matrix, list[QueryStats]]:
+        """Batched exact PPVs as a CSR ``(len(nodes), n)`` matrix.
+
+        The sparse accumulation mode of the batch path: each level
+        group's term is a sparse×sparse ``part_csc @ sparse_weights``
+        CSR block, the port repair is a structural zero-out plus a
+        scattered skeleton-value add, and blocks are merged per chain
+        group by sparse addition — the dense ``(n, batch)`` accumulator
+        of :meth:`query_many` never exists.  On pruned indexes
+        (``HGPA_ad``) the peak footprint is proportional to the PPVs'
+        true support, which is what lets batched HGPA *beat* its
+        per-query matmul path instead of matching it.  Agrees with the
+        dense path exactly (``toarray()`` equality, identical counters).
+        """
+        n = self.graph.num_nodes
+        nodes = validate_batch(nodes, n)
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the per-chunk sparse blocks like the dense path.
+            return sparse_in_batches(
+                lambda chunk: self.query_many_sparse(
+                    chunk, collect_stats=collect_stats
+                ),
+                nodes,
+                DEFAULT_BATCH,
+            )
+        stats = [QueryStats() for _ in range(nodes.size)] if collect_stats else []
+        if nodes.size == 0:
+            return sp.csr_matrix((0, n)), stats
+        order, members, hub_flags, depth_of = _chain_membership(
+            self.hierarchy, nodes
+        )
+        ordered = nodes[order]
+        inv_alpha = 1.0 / self.alpha
+        # Level-term CSC blocks bucketed by chain depth: same-depth
+        # subgraphs cover disjoint query slices, so a whole depth merges
+        # by concatenation (port-repair values included as one scattered
+        # add per depth) and the accumulator fold costs one sparse add
+        # per depth — per entry, terms still add in chain order, exactly
+        # the dense accumulation sequence.
+        by_depth: dict[int, list[tuple[int, sp.csc_matrix]]] = {}
+        ports: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        for sid, (lo, hi, own_list) in members.items():
+            part_csc, skel_csr, hubs = self._level_ops(sid)
+            nnz_per_hub = np.diff(part_csc.indptr)
+            own_arr = np.asarray(own_list, dtype=bool)
+            qnodes = ordered[lo:hi]
+            raw = skel_csr[qnodes]  # sparse (hi-lo, |hubs|) weight rows
+            weights = raw
+            own_rows = np.nonzero(own_arr)[0]
+            if own_rows.size:
+                # Hub queries at their own level: the f_u(h) adjustment.
+                hits, pos = find_sorted(hubs, qnodes[own_rows])
+                weights = subtract_at(
+                    raw, own_rows[hits], pos[hits], self.alpha
+                )
+            level = part_csc @ scaled_transpose_csc(weights, inv_alpha)
+            rest = np.nonzero(~own_arr)[0]
+            if rest.size:
+                # Port repair, sparse form: the dense overwrite splits
+                # into zeroing the matmul contribution at the level's hub
+                # coordinates and adding the raw skeleton values there
+                # (collected per depth, added after assembly).
+                rest_mask = np.zeros(hi - lo, dtype=bool)
+                rest_mask[rest] = True
+                zero_rows_in_columns(level, hubs, rest_mask)
+                raw_rest = raw[rest]
+                port_cols = lo + rest[
+                    np.repeat(np.arange(rest.size), np.diff(raw_rest.indptr))
+                ]
+                ports.setdefault(depth_of[sid], []).append(
+                    (hubs[raw_rest.indices], port_cols, raw_rest.data)
+                )
+            by_depth.setdefault(depth_of[sid], []).append((lo, level))
+            if collect_stats:
+                counts, entries = weight_row_stats(weights, nnz_per_hub)
+                for k in range(hi - lo):
+                    s = stats[order[lo + k]]
+                    s.skeleton_lookups += int(hubs.size)
+                    s.vectors_used += int(counts[k])
+                    s.entries_processed += int(entries[k])
+        acc = fold_depth_blocks(by_depth, ports, nodes.size, n)
+        if acc is None:
+            out = sp.csr_matrix((nodes.size, n))
+        else:
+            inv_order = np.empty_like(order)
+            inv_order[order] = np.arange(order.size)
+            out = acc.T.tocsr()[inv_order]
+        vecs = []
+        alpha_rows: list[int] = []
+        alpha_cols: list[int] = []
+        for qpos, u in enumerate(nodes.tolist()):
+            if hub_flags[qpos]:
+                own = self.hub_partials[u]
+                alpha_rows.append(qpos)
+                alpha_cols.append(u)
+            else:
+                own = self.leaf_ppv[u]
+            vecs.append(own)
+            if collect_stats:
+                stats[qpos].entries_processed += own.nnz
+                stats[qpos].vectors_used += 1
+        out = out + rows_matrix(vecs, n)
+        if alpha_rows:
+            out = out + point_matrix(
+                np.asarray(alpha_rows),
+                np.asarray(alpha_cols),
+                np.full(len(alpha_rows), self.alpha),
+                (nodes.size, n),
+            )
+        return finalize_csr(out, (nodes.size, n)), stats
 
     def query_topk(
         self, u: int, k: int, *, threshold: float | None = None
@@ -300,7 +437,12 @@ class HGPAIndex:
 
 def _chain_membership(
     hierarchy: PartitionHierarchy, nodes: np.ndarray
-) -> tuple[np.ndarray, dict[int, tuple[int, int, list[bool]]], np.ndarray]:
+) -> tuple[
+    np.ndarray,
+    dict[int, tuple[int, int, list[bool]]],
+    np.ndarray,
+    dict[int, int],
+]:
     """Group queries by the subgraphs their chains traverse.
 
     Queries are ordered lexicographically by chain, so every subgraph's
@@ -310,12 +452,17 @@ def _chain_membership(
     accumulate each level term with a plain block add instead of a
     strided scatter.
 
-    Returns ``(order, members, hub_flags)``: ``order[k]`` is the original
-    position of the ``k``-th ordered query; ``members`` maps subgraph id
-    to ``(lo, hi, own-level flags)`` over ordered positions; ``hub_flags``
-    is a per-original-query hub mask.  The own-level flag marks a hub
-    query at the level that owns it (where Eq. 6 applies the f_u(h)
-    adjustment instead of the port repair).
+    Returns ``(order, members, hub_flags, depth_of)``: ``order[k]`` is
+    the original position of the ``k``-th ordered query; ``members``
+    maps subgraph id to ``(lo, hi, own-level flags)`` over ordered
+    positions; ``hub_flags`` is a per-original-query hub mask;
+    ``depth_of`` maps subgraph id to its chain depth (root = 0) — two
+    groups of the same depth always occupy *disjoint* column slices, and
+    any one query's covering groups have strictly increasing depths, so
+    sparse accumulation can merge per depth and still add every entry's
+    terms in chain order.  The own-level flag marks a hub query at the
+    level that owns it (where Eq. 6 applies the f_u(h) adjustment
+    instead of the port repair).
     """
     chains = [hierarchy.chain(int(u)) for u in nodes.tolist()]
     hub_flags = np.asarray(
@@ -329,15 +476,17 @@ def _chain_membership(
         dtype=np.int64,
     )
     members: dict[int, list] = {}
+    depth_of: dict[int, int] = {}
     for pos, i in enumerate(order.tolist()):
         chain = chains[i]
-        for sg in chain:
+        for depth, sg in enumerate(chain):
             if sg.hubs.size == 0:
                 continue
             own = bool(hub_flags[i]) and sg is chain[-1]
             entry = members.get(sg.node_id)
             if entry is None:
                 members[sg.node_id] = [pos, pos + 1, [own]]
+                depth_of[sg.node_id] = depth
             else:
                 entry[1] = pos + 1
                 entry[2].append(own)
@@ -345,6 +494,7 @@ def _chain_membership(
         order,
         {sid: (lo, hi, owns) for sid, (lo, hi, owns) in members.items()},
         hub_flags,
+        depth_of,
     )
 
 

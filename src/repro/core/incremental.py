@@ -148,13 +148,20 @@ def _rebuild(
         if sg_old.is_leaf:
             for node in sg_old.nodes.tolist():
                 dropped_keys.add(("leaf", node))
+    # Only keys that actually existed in the old stores count as dropped:
+    # a promoted node's old roles are invalidated defensively (a hub
+    # moving levels never had a leaf vector), and phantom keys would send
+    # the distributed runtimes' targeted re-deploy after vectors no
+    # machine ever owned.
+    present: set[tuple] = set()
     for kind, key in dropped_keys:
         store = {
             "hub": index.hub_partials,
             "skel": index.skeleton_cols,
             "leaf": index.leaf_ppv,
         }[kind]
-        store.pop(key, None)
+        if store.pop(key, None) is not None:
+            present.add((kind, key))
         index.build_cost.pop((kind, key), None)
     # Recompute the affected subgraphs against the new graph.
     rebuilt_keys: set[tuple] = set()
@@ -183,7 +190,7 @@ def _rebuild(
         rebuilt_vectors=rebuilt_vectors,
         total_vectors=total,
         rebuilt_keys=frozenset(rebuilt_keys),
-        dropped_keys=frozenset(dropped_keys - rebuilt_keys),
+        dropped_keys=frozenset(present - rebuilt_keys),
         affected_subgraphs=tuple(affected_ids),
     )
     return index, stats

@@ -1,0 +1,326 @@
+"""Sparse query-result machinery shared by every engine's sparse path.
+
+Pruned indexes (HGPA_ad, ``prune=tol``) produce PPVs whose support is a
+tiny fraction of ``n``, yet the dense batch paths materialise full
+``(batch, n)`` matrices.  The helpers here let every ``query_many_sparse``
+implementation stay sparse end to end — adjusted skeleton weights as a
+sparse matrix, per-level/ per-machine CSC result blocks, own-term row
+matrices, and an exact sparse per-row top-k — while agreeing *bitwise*
+with the dense paths.
+
+Exactness rests on two properties, both asserted by the equivalence
+suite:
+
+* scipy's CSC @ CSC product accumulates each output entry over the same
+  ascending-index term order as the CSC @ dense product the dense paths
+  use (skipped terms are exact zeros, which cannot change an IEEE sum);
+* sparse matrix addition applies the same per-entry ``a + b`` the dense
+  paths apply with ``+=``, so chaining blocks in the dense accumulation
+  order reproduces the dense result exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.sparsevec import SparseVec
+
+__all__ = [
+    "assemble_columns",
+    "fold_depth_blocks",
+    "rows_matrix",
+    "point_matrix",
+    "subtract_at",
+    "scaled_transpose_csc",
+    "zero_rows_in_columns",
+    "weight_row_stats",
+    "column_sparsevec",
+    "row_sparsevec",
+    "topk_rows_sparse",
+    "sparse_in_batches",
+    "finalize_csr",
+]
+
+
+def rows_matrix(vecs: list[SparseVec | None], n: int) -> sp.csr_matrix:
+    """Stack sparse vectors as the rows of one ``(len(vecs), n)`` CSR.
+
+    ``None`` entries become empty rows — the own-term matrix of a batch
+    where some queries contribute no vector (e.g. a machine that owns
+    none of the batch's own vectors).
+    """
+    counts = [0 if v is None else v.nnz for v in vecs]
+    if not vecs or not any(counts):
+        return sp.csr_matrix((len(vecs), n))
+    idx = np.concatenate([v.idx for v in vecs if v is not None and v.nnz])
+    val = np.concatenate([v.val for v in vecs if v is not None and v.nnz])
+    indptr = np.concatenate([[0], np.cumsum(counts)])
+    return sp.csr_matrix((val, idx, indptr), shape=(len(vecs), n))
+
+
+def point_matrix(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+    fmt: str = "csr",
+) -> sp.spmatrix:
+    """Scattered point entries as a sparse matrix (COO build, no dups)."""
+    coo = sp.coo_matrix(
+        (np.asarray(vals, dtype=np.float64), (rows, cols)), shape=shape
+    )
+    return coo.asformat(fmt)
+
+
+def subtract_at(
+    w: sp.csr_matrix, rows: np.ndarray, cols: np.ndarray, value: float
+) -> sp.csr_matrix:
+    """``w`` with ``value`` subtracted at the given positions.
+
+    The sparse mirror of ``weights[rows, cols] -= value`` on a dense
+    copy: existing entries become ``s - value`` by the same single
+    subtraction, absent entries become ``0 - value`` exactly as the
+    dense path's ``0.0 - value``.
+    """
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        return w
+    corr = point_matrix(
+        rows, np.asarray(cols), np.full(rows.size, value), w.shape
+    )
+    return w - corr
+
+
+def scaled_transpose_csc(
+    w: sp.csr_matrix, factor: float, *, divide: bool = False
+) -> sp.csc_matrix:
+    """``(w * factor).T`` (or ``(w / factor).T``) as CSC on ``w``'s arrays.
+
+    A CSR's (data, indices, indptr) reinterpreted with swapped shape *is*
+    its transpose in CSC, so this costs one scaled data buffer and one
+    matrix object.  Structure (and therefore the matmul term order) is
+    untouched.  ``divide`` must match the dense twin's exact operation —
+    ``x / alpha`` and ``x * (1/alpha)`` round differently for most alphas
+    (they coincide at the default 0.15), and the sparse paths promise
+    bitwise agreement: the core index paths scale with
+    ``weights.T * inv_alpha`` (multiply), the distributed runtimes with
+    ``weights.T / alpha`` (divide).
+    """
+    g, h = w.shape
+    data = w.data / factor if divide else w.data * factor
+    return sp.csc_matrix((data, w.indices, w.indptr), shape=(h, g))
+
+
+def assemble_columns(
+    blocks: list[tuple[int, sp.csc_matrix]], total_cols: int, n: int
+) -> sp.csc_matrix:
+    """Column-disjoint CSC blocks placed into one ``(n, total_cols)`` CSC.
+
+    ``blocks`` is a list of ``(lo, (n, g) matrix)`` pairs occupying the
+    column ranges ``lo:lo+g``; ranges must not overlap (gaps are fine —
+    they become empty columns).  Pure concatenation, no arithmetic: this
+    is how the HGPA sparse path merges all level terms of one hierarchy
+    *depth* in a single step, so the accumulator fold costs one sparse
+    add per depth instead of one per subgraph.
+    """
+    blocks = sorted(blocks, key=lambda t: t[0])
+    indptr = np.zeros(total_cols + 1, dtype=np.int64)
+    idx_parts, data_parts = [], []
+    nnz = 0
+    for lo, mat in blocks:
+        g = mat.shape[1]
+        indptr[lo + 1 : lo + g + 1] = nnz + mat.indptr[1:]
+        nnz += int(mat.indptr[-1])
+        idx_parts.append(mat.indices)
+        data_parts.append(mat.data)
+    np.maximum.accumulate(indptr, out=indptr)  # carry through the gaps
+    if not idx_parts:
+        return sp.csc_matrix((n, total_cols))
+    return sp.csc_matrix(
+        (np.concatenate(data_parts), np.concatenate(idx_parts), indptr),
+        shape=(n, total_cols),
+    )
+
+
+def fold_depth_blocks(
+    by_depth: dict[int, list[tuple[int, sp.csc_matrix]]],
+    ports: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    total_cols: int,
+    n: int,
+) -> sp.csc_matrix | None:
+    """Merge depth-bucketed level-term blocks into one ``(n, total_cols)``
+    CSC accumulator — the shared core of both HGPA sparse batch paths.
+
+    Each depth's column-disjoint blocks are assembled by concatenation,
+    canonicalized once, topped with that depth's port-repair values (one
+    scattered add of ``(rows, cols, vals)`` triples — the skeleton values
+    re-added where the matmul contribution was zeroed), and folded into
+    the accumulator in ascending depth order.  Any one query's covering
+    subgraphs have strictly increasing depths, so per entry the fold adds
+    terms in chain order — exactly the dense accumulation sequence, which
+    is what keeps the sparse results bitwise-equal to the dense paths.
+    Returns ``None`` when there are no blocks at all.
+    """
+    acc: sp.csc_matrix | None = None
+    for depth in sorted(by_depth):
+        mat = assemble_columns(by_depth[depth], total_cols, n)
+        mat.sort_indices()  # canonicalize the raw matmul blocks once
+        depth_ports = ports.get(depth)
+        if depth_ports:
+            mat = mat + point_matrix(
+                np.concatenate([p[0] for p in depth_ports]),
+                np.concatenate([p[1] for p in depth_ports]),
+                np.concatenate([p[2] for p in depth_ports]),
+                (n, total_cols),
+                fmt="csc",
+            )
+        acc = mat if acc is None else acc + mat
+    return acc
+
+
+def zero_rows_in_columns(
+    block: sp.csc_matrix, rows: np.ndarray, col_mask: np.ndarray
+) -> None:
+    """Zero every stored entry of ``block`` whose row is in ``rows`` and
+    whose column is flagged in ``col_mask`` (in place, structure kept).
+
+    The sparse half of the HGPA port repair: the dense path *overwrites*
+    those coordinates, which splits into "zero the matmul contribution"
+    (here) plus "add the skeleton values" (a :func:`point_matrix` add).
+    """
+    rows = np.asarray(rows)
+    if block.nnz == 0 or rows.size == 0:
+        return
+    colid = np.repeat(
+        np.arange(block.shape[1]), np.diff(block.indptr)
+    )
+    # Sorted-membership probe (rows is a sorted hub array).
+    pos = np.searchsorted(rows, block.indices)
+    clipped = np.minimum(pos, rows.size - 1)
+    member = (pos < rows.size) & (rows[clipped] == block.indices)
+    block.data[member & col_mask[colid]] = 0.0
+
+
+def weight_row_stats(
+    w_adj: sp.csr_matrix, nnz_per_hub: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(vectors_used, entries_processed)`` of an adjusted
+    sparse weight matrix — the sparse mirror of the dense bookkeeping
+    ``used = weights != 0; used.sum(1); used @ nnz_per_hub``."""
+    g = w_adj.shape[0]
+    nz = w_adj.data != 0.0
+    rowid = np.repeat(np.arange(g), np.diff(w_adj.indptr))[nz]
+    counts = np.bincount(rowid, minlength=g).astype(np.int64)
+    entries = np.bincount(
+        rowid,
+        weights=nnz_per_hub[w_adj.indices[nz]].astype(np.float64),
+        minlength=g,
+    ).astype(np.int64)
+    return counts, entries
+
+
+def column_sparsevec(mat: sp.csc_matrix, col: int) -> SparseVec:
+    """Column ``col`` of a canonical CSC as a :class:`SparseVec`.
+
+    Explicit zeros are dropped, matching ``SparseVec.from_dense`` on the
+    dense equivalent (same nnz, hence same wire bytes).
+    """
+    lo, hi = mat.indptr[col], mat.indptr[col + 1]
+    idx = mat.indices[lo:hi]
+    val = mat.data[lo:hi]
+    keep = val != 0.0
+    return SparseVec(
+        idx[keep].astype(np.int64, copy=True), val[keep].copy(), _trusted=True
+    )
+
+
+def row_sparsevec(mat: sp.csr_matrix, row: int) -> SparseVec:
+    """Row ``row`` of a canonical CSR as a :class:`SparseVec` (explicit
+    zeros dropped, buffers copied so the matrix is not pinned)."""
+    lo, hi = mat.indptr[row], mat.indptr[row + 1]
+    idx = mat.indices[lo:hi]
+    val = mat.data[lo:hi]
+    keep = val != 0.0
+    return SparseVec(
+        idx[keep].astype(np.int64, copy=True), val[keep].copy(), _trusted=True
+    )
+
+
+def topk_rows_sparse(
+    mat: sp.spmatrix, k: int, *, threshold: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-k of a sparse ``(rows, n)`` matrix — exact mirror of
+    the dense :func:`repro.core.flat_index.topk_rows` contract.
+
+    Candidates per row are the stored entries plus the ``k`` smallest
+    *absent* ids (implicit zeros): any other absent id is preceded by
+    ``k`` equal-scored candidates with smaller ids, so it can never make
+    the top-k under the tie rule (best first, ties by smaller id, also
+    at the k boundary).  The chunk is never densified.
+    """
+    mat = mat.tocsr()
+    mat.sum_duplicates()
+    mat.sort_indices()
+    rows, n = mat.shape
+    k = min(k, n)
+    if k <= 0 or rows == 0:
+        return (
+            np.empty((rows, max(k, 0)), dtype=np.int64),
+            np.empty((rows, max(k, 0))),
+        )
+    ids = np.empty((rows, k), dtype=np.int64)
+    scores = np.empty((rows, k))
+    indptr, indices, data = mat.indptr, mat.indices, mat.data
+    for r in range(rows):
+        lo, hi = indptr[r], indptr[r + 1]
+        idx = indices[lo:hi].astype(np.int64)
+        val = data[lo:hi]
+        limit = min(n, (hi - lo) + k)
+        missing = np.setdiff1d(
+            np.arange(limit, dtype=np.int64),
+            idx[idx < limit],
+            assume_unique=True,
+        )[:k]
+        cand_ids = np.concatenate([idx, missing])
+        cand_vals = np.concatenate([val, np.zeros(missing.size)])
+        order = np.lexsort((cand_ids, -cand_vals))[:k]
+        ids[r] = cand_ids[order]
+        scores[r] = cand_vals[order]
+    if threshold is not None:
+        dropped = scores <= threshold
+        ids[dropped] = -1
+        scores[dropped] = 0.0
+    return ids, scores
+
+
+def sparse_in_batches(
+    query_many_sparse_fn, nodes: np.ndarray, batch: int
+) -> tuple[sp.csr_matrix, list]:
+    """Evaluate a ``query_many_sparse``-style callable one batch at a
+    time, row-stacking the CSR chunks (the sparse ``run_in_batches``)."""
+    if nodes.size == 0:
+        out, meta = query_many_sparse_fn(nodes)
+        return out, list(meta)
+    outs, metas = [], []
+    for lo in range(0, nodes.size, batch):
+        out, meta = query_many_sparse_fn(nodes[lo : lo + batch])
+        outs.append(out)
+        metas.extend(meta)
+    return sp.vstack(outs, format="csr"), metas
+
+
+def finalize_csr(mat: sp.spmatrix, shape: tuple[int, int]) -> sp.csr_matrix:
+    """Canonical CSR result: sorted indices, explicit zeros dropped.
+
+    Dropping explicit zeros changes no value but makes row nnz equal the
+    support a dense row would sparsify to — which is what the serving
+    wire accounting (``16 + 12·nnz`` bytes per row) charges.
+    """
+    out = mat.tocsr()
+    if out.shape != shape:  # pragma: no cover - defensive
+        out = sp.csr_matrix(out, shape=shape)
+    out.sum_duplicates()
+    out.eliminate_zeros()
+    out.sort_indices()
+    return out

@@ -9,6 +9,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.flat_index import stack_columns
+from repro.core.sparse_ops import column_sparsevec, finalize_csr, rows_matrix
 from repro.core.sparsevec import SparseVec
 from repro.distributed.coordinator import Coordinator
 from repro.distributed.machine import Machine
@@ -162,7 +163,8 @@ class ClusterBase:
         machine_walls: dict[int, float],
         *,
         entries_by_machine: dict[int, int] | None = None,
-    ) -> tuple[np.ndarray, QueryReport]:
+        collect_stats: bool = True,
+    ) -> tuple[np.ndarray, QueryReport | None]:
         """Serialize per-machine partial vectors, aggregate, build a report.
 
         Every per-machine quantity is keyed by ``machine_id`` so compute
@@ -171,22 +173,86 @@ class ClusterBase:
         ``entries_by_machine`` overrides the machines' live counters —
         batched query paths compute the per-query entry counts
         analytically instead of mutating counters per query.
+        ``collect_stats=False`` skips the report (returned ``None``);
+        serialization, aggregation and metering still run — they are the
+        wire protocol, not bookkeeping.
         """
-        assert self.coordinator is not None
-        if entries_by_machine is None:
-            entries_by_machine = {
-                m.machine_id: m.query_entries for m in self.machines
-            }
-        mids = sorted(partials)
         payloads: dict[int, bytes] = {
-            mid: SparseVec.from_dense(partials[mid]).to_wire() for mid in mids
+            mid: SparseVec.from_dense(partials[mid]).to_wire()
+            for mid in sorted(partials)
         }
+        assert self.coordinator is not None
         before = self.coordinator.meter.total_bytes
         self.coordinator.broadcast_query(query, [m.machine_id for m in self.machines])
         t0 = time.perf_counter()
         result = self.coordinator.aggregate(payloads)
         agg_wall = time.perf_counter() - t0
-        comm_bytes = self.coordinator.meter.total_bytes - before
+        report = self._build_report(
+            query,
+            payloads,
+            machine_walls,
+            entries_by_machine,
+            agg_wall,
+            self.coordinator.meter.total_bytes - before,
+            collect_stats,
+        )
+        return result, report
+
+    def _finish_query_sparse(
+        self,
+        query: int,
+        partials: dict[int, SparseVec],
+        machine_walls: dict[int, float],
+        *,
+        entries_by_machine: dict[int, int] | None = None,
+        collect_stats: bool = True,
+    ) -> tuple[SparseVec, QueryReport | None]:
+        """The sparse twin of :meth:`_finish_query`.
+
+        Per-machine answers arrive already sparse (a column of the
+        machine's sparse batch product), ship over the same wire codec —
+        the meter charges the actual nnz, exactly what the dense path's
+        ``SparseVec.from_dense`` payloads weigh — and are merged by the
+        coordinator's sparse fold, so no dense ``n``-vector is built
+        anywhere on the path.
+        """
+        payloads: dict[int, bytes] = {
+            mid: partials[mid].to_wire() for mid in sorted(partials)
+        }
+        assert self.coordinator is not None
+        before = self.coordinator.meter.total_bytes
+        self.coordinator.broadcast_query(query, [m.machine_id for m in self.machines])
+        t0 = time.perf_counter()
+        result = self.coordinator.aggregate_sparse(payloads)
+        agg_wall = time.perf_counter() - t0
+        report = self._build_report(
+            query,
+            payloads,
+            machine_walls,
+            entries_by_machine,
+            agg_wall,
+            self.coordinator.meter.total_bytes - before,
+            collect_stats,
+        )
+        return result, report
+
+    def _build_report(
+        self,
+        query: int,
+        payloads: dict[int, bytes],
+        machine_walls: dict[int, float],
+        entries_by_machine: dict[int, int] | None,
+        agg_wall: float,
+        comm_bytes: int,
+        collect_stats: bool,
+    ) -> QueryReport | None:
+        if not collect_stats:
+            return None
+        if entries_by_machine is None:
+            entries_by_machine = {
+                m.machine_id: m.query_entries for m in self.machines
+            }
+        mids = sorted(payloads)
         # Paper metric: max over machines of (combine work + ship own vector).
         runtime = max(
             self.cost_model.compute_seconds(entries_by_machine[mid])
@@ -194,7 +260,7 @@ class ClusterBase:
             for mid in mids
         )
         wall = max(machine_walls.values()) + agg_wall if machine_walls else agg_wall
-        report = QueryReport(
+        return QueryReport(
             query=query,
             runtime_seconds=runtime,
             wall_seconds=wall,
@@ -202,4 +268,48 @@ class ClusterBase:
             per_machine_bytes=[len(payloads[mid]) for mid in mids],
             communication_bytes=comm_bytes,
         )
-        return result, report
+
+    def _collect_sparse_batch(
+        self,
+        nodes: np.ndarray,
+        machine_accs: dict[int, sp.csc_matrix],
+        col_of,
+        walls: dict[int, float],
+        entries: np.ndarray | None,
+        collect_stats: bool,
+    ) -> tuple[sp.csr_matrix, list[QueryReport]]:
+        """Finish a sparse batch: one wire round per query, rows stacked.
+
+        ``col_of(k)`` maps query position ``k`` to its column in the
+        per-machine ``(n, batch)`` CSC accumulators (identity for the
+        flat runtime, chain order for HGPA).  The merged rows are stacked
+        into one CSR without any dense ``(n, batch)`` intermediate.
+        """
+        rows_out: list[SparseVec] = []
+        reports: list[QueryReport] = []
+        for k, u in enumerate(nodes.tolist()):
+            c = col_of(k)
+            partial_vecs = {
+                mid: column_sparsevec(machine_accs[mid], c)
+                for mid in machine_accs
+            }
+            ebm = (
+                {mid: int(entries[k, mid]) for mid in machine_accs}
+                if collect_stats and entries is not None
+                else None
+            )
+            result, report = self._finish_query_sparse(
+                u,
+                partial_vecs,
+                walls,
+                entries_by_machine=ebm,
+                collect_stats=collect_stats,
+            )
+            rows_out.append(result)
+            if collect_stats:
+                reports.append(report)
+        out = finalize_csr(
+            rows_matrix(rows_out, self.num_nodes),
+            (nodes.size, self.num_nodes),
+        )
+        return out, reports

@@ -39,3 +39,17 @@ class Coordinator:
             self.meter.record(f"machine-{mid}", "coordinator", len(payload))
             SparseVec.from_wire(payload).add_into(acc)
         return acc
+
+    def aggregate_sparse(self, payloads: dict[int, bytes]) -> SparseVec:
+        """Decode one wire payload per machine and sum them *sparsely*.
+
+        The sparse twin of :meth:`aggregate`: identical metering, and the
+        fold adds the machines' vectors in the same payload order, so
+        every entry sees the exact addition sequence of the dense sum —
+        without the coordinator ever allocating an ``n``-vector.
+        """
+        acc = SparseVec.empty()
+        for mid, payload in payloads.items():
+            self.meter.record(f"machine-{mid}", "coordinator", len(payload))
+            acc = acc + SparseVec.from_wire(payload)
+        return acc

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.flat_index import (
     DEFAULT_BATCH,
@@ -29,6 +30,14 @@ from repro.core.flat_index import (
     hub_weights,
     run_in_batches,
     validate_batch,
+)
+from repro.core.sparse_ops import (
+    point_matrix,
+    rows_matrix,
+    scaled_transpose_csc,
+    sparse_in_batches,
+    subtract_at,
+    weight_row_stats,
 )
 from repro.core.gpa import GPAIndex
 from repro.core.updates import (
@@ -163,14 +172,18 @@ class DistributedGPA(ClusterBase):
             partials[mid] = acc
         return self._finish_query(u, partials, walls)
 
-    def query_many(self, nodes) -> tuple[np.ndarray, list[QueryReport]]:
+    def query_many(
+        self, nodes, *, collect_stats: bool = True
+    ) -> tuple[np.ndarray, list[QueryReport]]:
         """Batched distributed PPVs: one sparse matmul per machine.
 
         Each machine evaluates its share of the whole batch in a single
         ``CSC @ weights`` product; serialization, aggregation and metrics
         then run per query (the wire protocol is unchanged — one vector
         per machine per query).  Returns a dense ``(len(nodes), n)``
-        matrix plus the per-query reports.
+        matrix plus the per-query reports.  ``collect_stats=False``
+        skips the per-query entry bookkeeping and report construction
+        (metering still runs — it is the protocol) and returns ``[]``.
         """
         index = self.index
         nodes = validate_batch(nodes, self.num_nodes)
@@ -178,7 +191,12 @@ class DistributedGPA(ClusterBase):
             return np.zeros((0, self.num_nodes)), []
         if nodes.size > DEFAULT_BATCH:
             # Bound the per-machine dense (n, batch) intermediates.
-            return run_in_batches(self.query_many, nodes)
+            return run_in_batches(
+                lambda chunk: self.query_many(
+                    chunk, collect_stats=collect_stats
+                ),
+                nodes,
+            )
         hub_flags = np.zeros(nodes.size, dtype=bool)
         hub_flags[find_sorted(index.hubs, nodes)[0]] = True
         machine_accs: dict[int, np.ndarray] = {}
@@ -194,7 +212,10 @@ class DistributedGPA(ClusterBase):
                 rows, pos = find_sorted(owned, nodes)
                 weights[rows, pos[rows]] -= index.alpha
                 acc = part_csc @ (weights.T / index.alpha)
-                entries[:, mid] = (weights != 0.0).astype(np.int64) @ nnz_per_hub
+                if collect_stats:
+                    entries[:, mid] = (
+                        (weights != 0.0).astype(np.int64) @ nnz_per_hub
+                    )
             else:
                 acc = np.zeros((self.num_nodes, nodes.size))
             for k, u in enumerate(nodes.tolist()):
@@ -207,7 +228,7 @@ class DistributedGPA(ClusterBase):
                 elif self._node_owner.get(u) == mid:
                     own = machine.get(("part", u))
                     own.add_into(acc[:, k])
-                if own is not None:
+                if own is not None and collect_stats:
                     entries[k, mid] += own.nnz
             machine.query_seconds = time.perf_counter() - t0
             walls[mid] = machine.query_seconds / nodes.size
@@ -222,10 +243,93 @@ class DistributedGPA(ClusterBase):
                 entries_by_machine={
                     mid: int(entries[k, mid]) for mid in machine_accs
                 },
+                collect_stats=collect_stats,
             )
             out[k] = result
-            reports.append(report)
+            if collect_stats:
+                reports.append(report)
         return out, reports
+
+    def query_many_sparse(
+        self, nodes, *, collect_stats: bool = True
+    ) -> tuple[sp.csr_matrix, list[QueryReport]]:
+        """Batched distributed PPVs as a CSR ``(len(nodes), n)`` matrix.
+
+        The sparse twin of :meth:`query_many`: each machine's share of
+        the batch is one sparse×sparse ``CSC @ sparse_weights`` product
+        (its ``(n, batch)`` partial-result block stays CSC), per-query
+        columns ship over the same wire codec — the
+        :class:`~repro.distributed.network.NetworkMeter` charges the
+        actual nnz, exactly the bytes the dense path's sparsified
+        payloads weigh — and the coordinator merges them sparsely, so no
+        dense ``(n, batch)`` accumulator exists on any machine or at the
+        coordinator.  Agrees with the dense path exactly.
+        """
+        index = self.index
+        nodes = validate_batch(nodes, self.num_nodes)
+        if nodes.size == 0:
+            return sp.csr_matrix((0, self.num_nodes)), []
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the per-machine sparse blocks like the dense path.
+            return sparse_in_batches(
+                lambda chunk: self.query_many_sparse(
+                    chunk, collect_stats=collect_stats
+                ),
+                nodes,
+                DEFAULT_BATCH,
+            )
+        alpha = index.alpha
+        hub_flags = np.zeros(nodes.size, dtype=bool)
+        hub_flags[find_sorted(index.hubs, nodes)[0]] = True
+        machine_accs: dict[int, sp.csc_matrix] = {}
+        entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
+        walls: dict[int, float] = {}
+        for machine in self.machines:
+            machine.reset_query_counters()
+            mid = machine.machine_id
+            owned, part_csc, skel_csr, nnz_per_hub = self._ops_for(mid)
+            t0 = time.perf_counter()
+            if owned.size:
+                rows, pos = find_sorted(owned, nodes)
+                weights = subtract_at(skel_csr[nodes], rows, pos[rows], alpha)
+                # divide=True: the dense twin scales with `weights.T / alpha`.
+                acc = part_csc @ scaled_transpose_csc(weights, alpha, divide=True)
+                acc.sort_indices()
+                if collect_stats:
+                    entries[:, mid] = weight_row_stats(weights, nnz_per_hub)[1]
+            else:
+                acc = sp.csc_matrix((self.num_nodes, nodes.size))
+            own_vecs: list = [None] * nodes.size
+            alpha_rows: list[int] = []
+            alpha_cols: list[int] = []
+            for k, u in enumerate(nodes.tolist()):
+                own = None
+                if hub_flags[k]:
+                    if self._hub_owner[u] == mid:
+                        own = machine.get(("hub", u))
+                        alpha_rows.append(u)
+                        alpha_cols.append(k)
+                elif self._node_owner.get(u) == mid:
+                    own = machine.get(("part", u))
+                own_vecs[k] = own
+                if own is not None and collect_stats:
+                    entries[k, mid] += own.nnz
+            if any(v is not None for v in own_vecs):
+                acc = acc + rows_matrix(own_vecs, self.num_nodes).T.tocsc()
+            if alpha_rows:
+                acc = acc + point_matrix(
+                    np.asarray(alpha_rows),
+                    np.asarray(alpha_cols),
+                    np.full(len(alpha_rows), alpha),
+                    acc.shape,
+                    fmt="csc",
+                )
+            machine.query_seconds = time.perf_counter() - t0
+            walls[mid] = machine.query_seconds / nodes.size
+            machine_accs[mid] = acc
+        return self._collect_sparse_batch(
+            nodes, machine_accs, lambda k: k, walls, entries, collect_stats
+        )
 
     # ------------------------------------------------------------------
     def apply_update(self, update: EdgeUpdate) -> UpdateReceipt:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.flat_index import (
     DEFAULT_BATCH,
@@ -38,6 +39,16 @@ from repro.core.flat_index import (
     validate_batch,
 )
 from repro.core.hgpa import HGPAIndex, _chain_membership
+from repro.core.sparse_ops import (
+    fold_depth_blocks,
+    point_matrix,
+    rows_matrix,
+    scaled_transpose_csc,
+    sparse_in_batches,
+    subtract_at,
+    weight_row_stats,
+    zero_rows_in_columns,
+)
 from repro.core.updates import (
     UPDATE_WIRE_BYTES,
     EdgeUpdate,
@@ -179,7 +190,9 @@ class DistributedHGPA(ClusterBase):
             partials[mid] = acc
         return self._finish_query(u, partials, walls)
 
-    def query_many(self, nodes) -> tuple[np.ndarray, list[QueryReport]]:
+    def query_many(
+        self, nodes, *, collect_stats: bool = True
+    ) -> tuple[np.ndarray, list[QueryReport]]:
         """Batched distributed PPVs: one sparse matmul per machine level.
 
         Queries are grouped by the subgraphs their chains traverse (as in
@@ -188,6 +201,8 @@ class DistributedHGPA(ClusterBase):
         product.  Serialization, aggregation and metrics run per query —
         the wire protocol is unchanged.  Returns a dense
         ``(len(nodes), n)`` matrix plus the per-query reports.
+        ``collect_stats=False`` skips the per-query entry bookkeeping and
+        report construction (metering still runs) and returns ``[]``.
         """
         index = self.index
         nodes = validate_batch(nodes, self.num_nodes)
@@ -195,9 +210,14 @@ class DistributedHGPA(ClusterBase):
             return np.zeros((0, self.num_nodes)), []
         if nodes.size > DEFAULT_BATCH:
             # Bound the per-machine dense (n, batch) intermediates.
-            return run_in_batches(self.query_many, nodes)
+            return run_in_batches(
+                lambda chunk: self.query_many(
+                    chunk, collect_stats=collect_stats
+                ),
+                nodes,
+            )
         alpha = index.alpha
-        order, members, hub_flags = _chain_membership(index.hierarchy, nodes)
+        order, members, hub_flags, _ = _chain_membership(index.hierarchy, nodes)
         ordered = nodes[order]
         inv_order = np.empty_like(order)
         inv_order[order] = np.arange(order.size)
@@ -230,9 +250,10 @@ class DistributedHGPA(ClusterBase):
                     contrib[np.ix_(level_hubs, rest)] = 0.0
                     contrib[np.ix_(owned, rest)] = raw[rest].T
                 acc[:, lo:hi] += contrib
-                entries[order[lo:hi], mid] += (
-                    (weights != 0.0).astype(np.int64) @ nnz_per_hub
-                )
+                if collect_stats:
+                    entries[order[lo:hi], mid] += (
+                        (weights != 0.0).astype(np.int64) @ nnz_per_hub
+                    )
             for k, u in enumerate(nodes.tolist()):
                 own = None
                 col = acc[:, inv_order[k]]
@@ -244,7 +265,7 @@ class DistributedHGPA(ClusterBase):
                 elif self._leaf_owner.get(u) == mid:
                     own = machine.get(("leaf", u))
                     own.add_into(col)
-                if own is not None:
+                if own is not None and collect_stats:
                     entries[k, mid] += own.nnz
             machine.query_seconds = time.perf_counter() - t0
             walls[mid] = machine.query_seconds / nodes.size
@@ -262,10 +283,138 @@ class DistributedHGPA(ClusterBase):
                 entries_by_machine={
                     mid: int(entries[k, mid]) for mid in machine_accs
                 },
+                collect_stats=collect_stats,
             )
             out[k] = result
-            reports.append(report)
+            if collect_stats:
+                reports.append(report)
         return out, reports
+
+    def query_many_sparse(
+        self, nodes, *, collect_stats: bool = True
+    ) -> tuple[sp.csr_matrix, list[QueryReport]]:
+        """Batched distributed PPVs as a CSR ``(len(nodes), n)`` matrix.
+
+        The sparse twin of :meth:`query_many`: each machine accumulates
+        its owned share of every chain group as sparse CSC blocks (the
+        distributed port repair becomes a structural zero-out plus a
+        scattered skeleton-value add, exactly as in
+        :meth:`repro.core.hgpa.HGPAIndex.query_many_sparse`), per-query
+        columns ship sparse over the metered wire (actual nnz charged),
+        and the coordinator merges them without a dense accumulator.
+        Agrees with the dense path exactly.
+        """
+        index = self.index
+        nodes = validate_batch(nodes, self.num_nodes)
+        if nodes.size == 0:
+            return sp.csr_matrix((0, self.num_nodes)), []
+        if nodes.size > DEFAULT_BATCH:
+            # Bound the per-machine sparse blocks like the dense path.
+            return sparse_in_batches(
+                lambda chunk: self.query_many_sparse(
+                    chunk, collect_stats=collect_stats
+                ),
+                nodes,
+                DEFAULT_BATCH,
+            )
+        alpha = index.alpha
+        n = self.num_nodes
+        order, members, hub_flags, depth_of = _chain_membership(
+            index.hierarchy, nodes
+        )
+        ordered = nodes[order]
+        inv_order = np.empty_like(order)
+        inv_order[order] = np.arange(order.size)
+        machine_accs: dict[int, sp.csc_matrix] = {}
+        entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
+        walls: dict[int, float] = {}
+        for machine in self.machines:
+            machine.reset_query_counters()
+            mid = machine.machine_id
+            level_ops = {sid: self._ops_for(mid, sid) for sid in members}
+            t0 = time.perf_counter()
+            # Depth-bucketed level blocks (see HGPAIndex.query_many_sparse):
+            # one sparse add per depth, per-entry order = chain order.
+            by_depth: dict[int, list[tuple[int, sp.csc_matrix]]] = {}
+            ports: dict[int, list] = {}
+            for sid, (lo, hi, own_list) in members.items():
+                ops = level_ops[sid]
+                if ops is None:
+                    continue
+                owned, part_csc, skel_csr, nnz_per_hub = ops
+                own_arr = np.asarray(own_list, dtype=bool)
+                qnodes = ordered[lo:hi]
+                raw = skel_csr[qnodes]
+                weights = raw
+                own_rows = np.nonzero(own_arr)[0]
+                if own_rows.size:
+                    mine, pos = find_sorted(owned, qnodes[own_rows])
+                    weights = subtract_at(raw, own_rows[mine], pos[mine], alpha)
+                # divide=True: the dense twin scales with `weights.T / alpha`.
+                contrib = part_csc @ scaled_transpose_csc(weights, alpha, divide=True)
+                rest = np.nonzero(~own_arr)[0]
+                if rest.size:
+                    # Distributed port repair: zero this machine's level
+                    # term at the level's hub coordinates, re-add the raw
+                    # skeleton values at its *owned* hubs (collected per
+                    # depth, added after assembly).
+                    level_hubs = index.hierarchy.subgraphs[sid].hubs
+                    rest_mask = np.zeros(hi - lo, dtype=bool)
+                    rest_mask[rest] = True
+                    zero_rows_in_columns(contrib, level_hubs, rest_mask)
+                    raw_rest = raw[rest]
+                    port_cols = lo + rest[
+                        np.repeat(
+                            np.arange(rest.size), np.diff(raw_rest.indptr)
+                        )
+                    ]
+                    ports.setdefault(depth_of[sid], []).append(
+                        (owned[raw_rest.indices], port_cols, raw_rest.data)
+                    )
+                by_depth.setdefault(depth_of[sid], []).append((lo, contrib))
+                if collect_stats:
+                    entries[order[lo:hi], mid] += weight_row_stats(
+                        weights, nnz_per_hub
+                    )[1]
+            acc = fold_depth_blocks(by_depth, ports, nodes.size, n)
+            if acc is None:
+                acc = sp.csc_matrix((n, nodes.size))
+            own_vecs: list = [None] * nodes.size
+            alpha_rows: list[int] = []
+            alpha_cols: list[int] = []
+            for k, u in enumerate(nodes.tolist()):
+                own = None
+                if hub_flags[k]:
+                    if self._hub_owner[u] == mid:
+                        own = machine.get(("hub", u))
+                        alpha_rows.append(u)
+                        alpha_cols.append(int(inv_order[k]))
+                elif self._leaf_owner.get(u) == mid:
+                    own = machine.get(("leaf", u))
+                own_vecs[int(inv_order[k])] = own
+                if own is not None and collect_stats:
+                    entries[k, mid] += own.nnz
+            if any(v is not None for v in own_vecs):
+                acc = acc + rows_matrix(own_vecs, n).T.tocsc()
+            if alpha_rows:
+                acc = acc + point_matrix(
+                    np.asarray(alpha_rows),
+                    np.asarray(alpha_cols),
+                    np.full(len(alpha_rows), alpha),
+                    acc.shape,
+                    fmt="csc",
+                )
+            machine.query_seconds = time.perf_counter() - t0
+            walls[mid] = machine.query_seconds / nodes.size
+            machine_accs[mid] = acc
+        return self._collect_sparse_batch(
+            nodes,
+            machine_accs,
+            lambda k: int(inv_order[k]),
+            walls,
+            entries,
+            collect_stats,
+        )
 
     # ------------------------------------------------------------------
     def apply_update(self, update: EdgeUpdate) -> UpdateReceipt:

@@ -1,16 +1,19 @@
-"""LRU cache of dense PPV results, keyed by query node.
+"""LRU cache of PPV results (dense rows or sparse vectors), keyed by node.
 
 The serving workload of a PPR system is heavily skewed — a small set of
 hot users accounts for most queries (the traffic shape Lin's distributed
 fully-personalized-PPR work designs for) — so answering repeats from a
-result cache removes most of the backend load.  Entries are dense PPV
-rows; the budget is expressed in *bytes* because rows are ``8n`` bytes
-each and the operator sizes the cache against machine memory, not entry
-counts.
+result cache removes most of the backend load.  The budget is expressed
+in *bytes* because the operator sizes the cache against machine memory,
+not entry counts: a dense row costs its ``8n`` buffer, a sparse
+:class:`~repro.core.sparsevec.SparseVec` row costs its wire size
+(``16 + 12·nnz``) — so under a pruned-index workload the same budget
+holds ~10–100× more entries than dense rows would.
 
-Cached arrays are stored and returned **read-only**: a hit hands the
-caller the cache's own buffer (no copy on the hot path), and NumPy's
+Cached dense arrays are stored and returned **read-only**: a hit hands
+the caller the cache's own buffer (no copy on the hot path), and NumPy's
 writeable flag guarantees no caller can corrupt the shared entry.
+``SparseVec`` entries are immutable by construction.
 """
 
 from __future__ import annotations
@@ -21,10 +24,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.sparsevec import SparseVec
 from repro.errors import ServingError
 from repro.serving.admission import FrequencySketch
 
-__all__ = ["CacheStats", "PPVCache", "DEFAULT_EVICTION_SAMPLE"]
+__all__ = ["CacheStats", "PPVCache", "DEFAULT_EVICTION_SAMPLE", "entry_bytes"]
+
+
+def entry_bytes(entry) -> int:
+    """Budgeted size of one cache entry: buffer bytes for a dense row,
+    wire bytes (true nnz) for a :class:`SparseVec`."""
+    if isinstance(entry, SparseVec):
+        return entry.wire_bytes
+    return entry.nbytes
 
 DEFAULT_EVICTION_SAMPLE = 8
 """LRU-end candidates examined per cost-aware eviction (Redis-style)."""
@@ -58,13 +70,19 @@ class CacheStats:
 
 
 class PPVCache:
-    """Byte-budgeted LRU over dense PPV rows.
+    """Byte-budgeted LRU over PPV rows — dense arrays or sparse vectors.
 
-    ``get`` returns the stored read-only array without copying (or
-    ``None`` on a miss); ``put`` inserts a read-only copy and evicts
-    least-recently-used entries until the budget holds.  A vector larger
-    than the whole budget is rejected outright instead of evicting
-    everything for an entry that cannot help future queries.
+    ``get`` returns the stored entry without copying (or ``None`` on a
+    miss); ``put`` inserts and evicts least-recently-used entries until
+    the budget holds.  A dense row is stored as a read-only array and
+    charged its ``8n`` buffer; a :class:`~repro.core.sparsevec.SparseVec`
+    row (the sparse serving pipeline) is stored as-is — it is immutable —
+    and charged its ``16 + 12·nnz`` wire size, so the byte budget
+    reflects each entry's *true* support and pruned workloads fit far
+    more rows.  Dense and sparse entries may coexist; readers convert as
+    needed.  A vector larger than the whole budget is rejected outright
+    instead of evicting everything for an entry that cannot help future
+    queries.
 
     ``weight`` turns eviction cost-aware: a ``weight(u, vec) -> float``
     callable scores each entry at insert time (e.g. by its backend
@@ -72,7 +90,10 @@ class PPVCache:
     recomputed), and eviction removes the *cheapest* of the ``sample``
     least-recently-used entries instead of blindly the oldest.  Without
     ``weight`` the cache is exactly the original pure-LRU byte-budgeted
-    store.
+    store.  Note ``vec`` is whatever form was inserted: a read-only
+    dense row on the dense serving paths, a :class:`SparseVec` on the
+    sparse ones — hooks serving both pipelines should key on ``u`` or
+    handle both types.
 
     ``admission`` adds a TinyLFU doorkeeper (``"tinylfu"`` for defaults,
     or a pre-sized :class:`~repro.serving.admission.FrequencySketch`):
@@ -114,7 +135,7 @@ class PPVCache:
         self.sample = int(sample)
         self.admission = admission
         self.stats = CacheStats()
-        self._store: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._store: OrderedDict[int, np.ndarray | SparseVec] = OrderedDict()
         self._weights: dict[int, float] = {}
 
     # ------------------------------------------------------------------
@@ -125,8 +146,12 @@ class PPVCache:
         """Membership probe without touching recency or hit/miss stats."""
         return u in self._store
 
-    def get(self, u: int) -> np.ndarray | None:
-        """The cached PPV of ``u`` (read-only, shared) or ``None``."""
+    def get(self, u: int) -> np.ndarray | SparseVec | None:
+        """The cached PPV of ``u`` (read-only, shared) or ``None``.
+
+        The entry comes back in the form it was inserted — dense row or
+        :class:`SparseVec`; mixed-mode readers convert on their side.
+        """
         if self.admission is not None:
             self.admission.increment(u)
         arr = self._store.get(u)
@@ -137,27 +162,35 @@ class PPVCache:
         self.stats.hits += 1
         return arr
 
-    def put(self, u: int, vec: np.ndarray) -> bool:
+    def put(self, u: int, vec) -> bool:
         """Insert the PPV of ``u``; returns False if it can never fit.
 
-        Already-read-only float64 arrays are stored as-is (the service
-        shares one buffer between the cache and every resolved request);
-        anything writeable is defensively copied first.
+        ``vec`` is either a dense row or a
+        :class:`~repro.core.sparsevec.SparseVec`.  Already-read-only
+        float64 arrays are stored as-is (the service shares one buffer
+        between the cache and every resolved request); anything writeable
+        is defensively copied first; ``SparseVec`` entries are immutable
+        and stored directly at their wire size.
         """
-        arr = np.asarray(vec, dtype=np.float64)
-        if arr.ndim != 1:
-            raise ServingError("cache entries must be 1-D PPV rows")
-        if arr.flags.writeable or arr.base is not None:
-            # Copy anything writeable — and any *view*, which would pin
-            # its whole base buffer while only the row is accounted.
-            arr = arr.copy()
-            arr.flags.writeable = False
-        if arr.nbytes > self.max_bytes:
+        if isinstance(vec, SparseVec):
+            arr = vec
+        else:
+            arr = np.asarray(vec, dtype=np.float64)
+            if arr.ndim != 1:
+                raise ServingError("cache entries must be 1-D PPV rows")
+            if arr.flags.writeable or arr.base is not None:
+                # Copy anything writeable — and any *view*, which would
+                # pin its whole base buffer while only the row is
+                # accounted.
+                arr = arr.copy()
+                arr.flags.writeable = False
+        nbytes = entry_bytes(arr)
+        if nbytes > self.max_bytes:
             return False
         if self.admission is not None:
             if (
                 u not in self._store
-                and self.current_bytes + arr.nbytes > self.max_bytes
+                and self.current_bytes + nbytes > self.max_bytes
                 and len(self._store) > 0
             ):
                 # Admission duel: the candidate must beat the entry its
@@ -174,19 +207,19 @@ class PPVCache:
                 )
         old = self._store.pop(u, None)
         if old is not None:
-            self.current_bytes -= old.nbytes
+            self.current_bytes -= entry_bytes(old)
         self._store[u] = arr
         if self.weight is not None:
             self._weights[u] = w
-        self.current_bytes += arr.nbytes
+        self.current_bytes += nbytes
         self.stats.inserts += 1
         while self.current_bytes > self.max_bytes:
             evicted = self._evict_one()
-            self.current_bytes -= evicted.nbytes
+            self.current_bytes -= entry_bytes(evicted)
             self.stats.evictions += 1
         return True
 
-    def _evict_one(self) -> np.ndarray:
+    def _evict_one(self):
         """Remove and return one entry under the configured policy.
 
         Pure LRU without a ``weight`` hook; with one, the lightest of the
@@ -243,7 +276,7 @@ class PPVCache:
         for u in np.atleast_1d(np.asarray(nodes, dtype=np.int64)).tolist():
             arr = self._store.pop(u, None)
             if arr is not None:
-                self.current_bytes -= arr.nbytes
+                self.current_bytes -= entry_bytes(arr)
                 self._weights.pop(u, None)
                 dropped += 1
         self.stats.invalidations += dropped

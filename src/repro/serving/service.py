@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.flat_index import DEFAULT_BATCH, topk_rows, validate_batch
+from repro.core.sparse_ops import row_sparsevec, rows_matrix, topk_rows_sparse
+from repro.core.sparsevec import SparseVec
 from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.errors import ServingError
 from repro.serving.adapters import as_backend
@@ -91,7 +93,9 @@ class Ticket:
 
     @property
     def result(self) -> np.ndarray:
-        """The dense PPV (read-only); raises while still queued."""
+        """The PPV (a read-only dense row, or a
+        :class:`~repro.core.sparsevec.SparseVec` when the service runs in
+        sparse mode); raises while still queued."""
         if self._value is _PENDING:
             raise ServingError(
                 f"request for node {self.node} not served yet — "
@@ -132,6 +136,13 @@ class PPVService:
     Results are read-only arrays shared between the cache and every
     ticket of the same node — exact to the backend's ``query_many``,
     which each index family keeps within 1e-12 of its per-node ``query``.
+    With ``sparse=True`` batches run through the backend's
+    ``query_many_sparse`` instead: tickets resolve to immutable
+    :class:`~repro.core.sparsevec.SparseVec` rows with exactly the dense
+    values, and the cache charges each row its true-nnz wire size, so a
+    pruned-index deployment fits ~10–100× more entries in the same
+    budget.  ``collect_stats=False`` skips engine-level per-query
+    metadata on every flush (the hot-path fast mode).
     """
 
     def __init__(
@@ -142,6 +153,8 @@ class PPVService:
         max_batch: int = DEFAULT_BATCH,
         cache: PPVCache | int | None = None,
         clock=None,
+        sparse: bool = False,
+        collect_stats: bool = True,
     ):
         if window < 0:
             raise ServingError(f"window must be >= 0, got {window}")
@@ -154,6 +167,15 @@ class PPVService:
             cache = PPVCache(cache)
         self.cache = cache
         self.clock = clock if clock is not None else SystemClock()
+        # Sparse mode: batches go through the backend's query_many_sparse,
+        # tickets resolve to SparseVec rows and the cache stores them at
+        # their true-nnz byte cost (values agree with dense mode exactly).
+        self.sparse = bool(sparse)
+        # collect_stats=False asks engines to skip per-query metadata
+        # bookkeeping — the serving hot-path fast mode.  Epoch tagging
+        # then falls back to the backend's batch-level epoch (identical
+        # unless a staggered rollout serves mixed epochs mid-flight).
+        self.collect_stats = bool(collect_stats)
         self.stats = ServiceStats()
         self._pending: list[Ticket] = []
         self._deadline: float | None = None
@@ -235,7 +257,7 @@ class PPVService:
             if hit is not None:
                 self.stats.cache_hits += 1
                 ticket.cached = True
-                ticket._resolve(hit, self.epoch)
+                ticket._resolve(self._coerce(hit), self.epoch)
                 return ticket
         if not self._pending:
             self._deadline = self.clock.now() + self.window
@@ -258,6 +280,22 @@ class PPVService:
             return 0
         return self._flush()
 
+    def _coerce(self, entry):
+        """A cache entry in this service's result form (dense or sparse).
+
+        Entries are stored in the mode that inserted them; a service of
+        the other mode converts on read — same values either way.
+        """
+        if self.sparse:
+            if isinstance(entry, SparseVec):
+                return entry
+            return SparseVec.from_dense(entry)
+        if isinstance(entry, SparseVec):
+            row = entry.to_dense(self.backend.num_nodes)
+            row.flags.writeable = False
+            return row
+        return entry
+
     def _flush(self) -> int:
         tickets, self._pending = self._pending, []
         self._deadline = None
@@ -265,18 +303,28 @@ class PPVService:
         unique = np.unique(
             np.asarray([t.node for t in tickets], dtype=np.int64)
         )
-        out, meta = self.backend.query_many(unique)
+        if self.sparse:
+            out, meta = self.backend.query_many_sparse(
+                unique, collect_stats=self.collect_stats
+            )
+        else:
+            out, meta = self.backend.query_many(
+                unique, collect_stats=self.collect_stats
+            )
         base = self.epoch
         # Mid-rollout a sharded backend serves mixed epochs: per-row
         # metadata carries the truth, and nothing may enter the cache
         # (epoch-untagged rows from ahead-of-epoch replicas would be
         # served as the completed version later).
         mixed = bool(getattr(self.backend, "rollout_in_progress", False))
-        rows: dict[int, np.ndarray] = {}
+        rows: dict[int, np.ndarray | SparseVec] = {}
         epochs: dict[int, int] = {}
         for j, u in enumerate(unique.tolist()):
-            row = out[j].copy()
-            row.flags.writeable = False
+            if self.sparse:
+                row = row_sparsevec(out, j)
+            else:
+                row = out[j].copy()
+                row.flags.writeable = False
             rows[u] = row
             epochs[u] = (
                 int(getattr(meta[j], "epoch", base)) if j < len(meta) else base
@@ -290,8 +338,9 @@ class PPVService:
         return len(tickets)
 
     # ------------------------------------------------------------------
-    def query(self, u: int) -> np.ndarray:
-        """Synchronous convenience: submit, drain the queue, return the PPV.
+    def query(self, u: int) -> np.ndarray | SparseVec:
+        """Synchronous convenience: submit, drain the queue, return the PPV
+        (a read-only dense row, or a :class:`SparseVec` in sparse mode).
 
         Note this flushes *all* pending requests (they share the batch),
         so interleaving ``query`` with ``submit`` shortens open windows.
@@ -307,18 +356,27 @@ class PPVService:
         """Top-``k`` of the served PPV: ``(ids, scores)``, best first.
 
         Served through the same cache/batch path as :meth:`query` — the
-        full row is what the cache stores, the reduction is per-request.
+        full row is what the cache stores, the reduction is per-request
+        (sparse mode reduces the sparse row directly, same result).
         ``threshold`` drops entries with ``score <= threshold`` before
         the k-cut (tail padded with id ``-1`` / score ``0.0``).
         """
         if k <= 0:
             raise ServingError("k must be positive")
         vec = self.query(u)
-        ids, scores = topk_rows(vec[np.newaxis], k, threshold=threshold)
+        if isinstance(vec, SparseVec):
+            ids, scores = topk_rows_sparse(
+                rows_matrix([vec], self.backend.num_nodes),
+                k,
+                threshold=threshold,
+            )
+        else:
+            ids, scores = topk_rows(vec[np.newaxis], k, threshold=threshold)
         return ids[0], scores[0]
 
-    def serve(self, nodes, arrivals=None) -> np.ndarray:
-        """Drive a whole request stream; returns the ``(len, n)`` results.
+    def serve(self, nodes, arrivals=None):
+        """Drive a whole request stream; returns the ``(len, n)`` results
+        (dense, or one CSR matrix in sparse mode — same values).
 
         ``arrivals`` (seconds, non-decreasing) replays an arrival process
         against a :class:`SimulatedClock`: the clock jumps to each
@@ -343,6 +401,10 @@ class PPVService:
             self.poll()
             tickets.append(self.submit(u))
         self.flush()
+        if self.sparse:
+            return rows_matrix(
+                [t.result for t in tickets], self.backend.num_nodes
+            )
         if not tickets:
             return np.zeros((0, self.backend.num_nodes))
         return np.vstack([t.result for t in tickets])

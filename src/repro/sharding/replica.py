@@ -82,10 +82,29 @@ class Replica:
         return not self._down
 
     # ----- serving ------------------------------------------------------
-    def query_many(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
+    def query_many(
+        self, nodes: np.ndarray, *, collect_stats: bool = True
+    ) -> tuple[np.ndarray, list]:
         """Serve one batch, accounting load to this replica."""
         t0 = time.perf_counter()
-        out, meta = self.backend.query_many(nodes)
+        out, meta = self.backend.query_many(nodes, collect_stats=collect_stats)
+        self.busy_seconds += time.perf_counter() - t0
+        self.served_queries += int(np.asarray(nodes).size)
+        self.served_batches += 1
+        return out, meta
+
+    def query_many_sparse(
+        self, nodes: np.ndarray, *, collect_stats: bool = True
+    ) -> tuple:
+        """Serve one batch as sparse CSR rows, accounting load.
+
+        Exact: ``toarray()`` equals the dense :meth:`query_many` result
+        (the adapter sparsifies dense-only engines transparently).
+        """
+        t0 = time.perf_counter()
+        out, meta = self.backend.query_many_sparse(
+            nodes, collect_stats=collect_stats
+        )
         self.busy_seconds += time.perf_counter() - t0
         self.served_queries += int(np.asarray(nodes).size)
         self.served_batches += 1

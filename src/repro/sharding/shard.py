@@ -18,6 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.flat_index import DEFAULT_BATCH, topk_in_batches, validate_batch
+from repro.core.sparse_ops import row_sparsevec, rows_matrix
+from repro.core.sparsevec import WIRE_ENTRY_BYTES, WIRE_HEADER_BYTES, SparseVec
 from repro.core.updates import UPDATE_WIRE_BYTES, EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
 from repro.errors import ShardingError
@@ -165,7 +167,9 @@ class Shard:
 
         Rows are epoch-tagged: cache hits carry the shard's completed
         epoch, computed rows the serving replica's.  Nodes under a
-        mid-rollout hold bypass the cache in both directions.
+        mid-rollout hold bypass the cache in both directions.  A sparse
+        cache entry (inserted by the sparse serving path) is densified on
+        read — same values, the two paths agree exactly.
         """
         out = np.empty((nodes.size, self.num_nodes))
         infos: list[RouteInfo | None] = [None] * nodes.size
@@ -177,7 +181,10 @@ class Shard:
                 if hit is None:
                     miss_rows.append(i)
                 else:
-                    out[i] = hit
+                    if isinstance(hit, SparseVec):
+                        out[i] = hit.to_dense(self.num_nodes)
+                    else:
+                        out[i] = hit
                     infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
         else:
             miss_rows = list(range(nodes.size))
@@ -185,7 +192,7 @@ class Shard:
             rows = np.asarray(miss_rows, dtype=np.int64)
             unique, inverse = np.unique(nodes[rows], return_inverse=True)
             replica = self.pick_replica()
-            dense, _ = replica.query_many(unique)
+            dense, _ = replica.query_many(unique, collect_stats=False)
             out[rows] = dense[inverse]
             for i in miss_rows:
                 infos[i] = RouteInfo(
@@ -200,6 +207,52 @@ class Shard:
                     self.cache.put(u, row)
         self.queries += int(nodes.size)
         return out, infos
+
+    def _serve_sparse(self, nodes: np.ndarray) -> tuple:
+        """Sparse rows for ``nodes`` via cache + chosen replica (unmetered).
+
+        The sparse twin of :meth:`_serve_dense`: replica answers arrive
+        as CSR rows, the cache stores :class:`SparseVec` entries at their
+        true-nnz byte cost (a dense entry inserted by the dense path is
+        sparsified on read), and the batch is returned as one CSR matrix
+        whose ``toarray()`` equals the dense path's result exactly.
+        """
+        row_vecs: list[SparseVec | None] = [None] * nodes.size
+        infos: list[RouteInfo | None] = [None] * nodes.size
+        held = self._held if self._held is not None else ()
+        miss_rows: list[int] = []
+        if self.cache is not None:
+            for i, u in enumerate(nodes.tolist()):
+                hit = None if u in held else self.cache.get(u)
+                if hit is None:
+                    miss_rows.append(i)
+                else:
+                    row_vecs[i] = (
+                        hit
+                        if isinstance(hit, SparseVec)
+                        else SparseVec.from_dense(hit)
+                    )
+                    infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
+        else:
+            miss_rows = list(range(nodes.size))
+        if miss_rows:
+            rows = np.asarray(miss_rows, dtype=np.int64)
+            unique, inverse = np.unique(nodes[rows], return_inverse=True)
+            replica = self.pick_replica()
+            mat, _ = replica.query_many_sparse(unique, collect_stats=False)
+            unique_vecs = [row_sparsevec(mat, j) for j in range(unique.size)]
+            for pos, i in enumerate(miss_rows):
+                row_vecs[i] = unique_vecs[inverse[pos]]
+                infos[i] = RouteInfo(
+                    self.shard_id, replica.replica_id, False, replica.epoch
+                )
+            if self.cache is not None:
+                for j, u in enumerate(unique.tolist()):
+                    if u in held:
+                        continue
+                    self.cache.put(u, unique_vecs[j])
+        self.queries += int(nodes.size)
+        return rows_matrix(row_vecs, self.num_nodes), infos
 
     def query_many(self, nodes) -> tuple[np.ndarray, list[RouteInfo]]:
         """Serve one routed batch of dense PPV rows, metering the wire.
@@ -218,6 +271,28 @@ class Shard:
         )
         return out, infos
 
+    def query_many_sparse(self, nodes) -> tuple:
+        """Serve one routed batch as sparse CSR rows, metering the wire.
+
+        Request: ``8`` bytes per node id; response: one *sparse* row per
+        query at its wire size (``16 + 12·nnz`` bytes) — on pruned
+        indexes a fraction of the dense ``8n``-byte rows the dense path
+        ships, which is the router↔shard bandwidth win of the sparse
+        pipeline.
+        """
+        nodes = validate_batch(nodes, self.num_nodes)
+        self.meter.record(
+            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
+        )
+        out, infos = self._serve_sparse(nodes)
+        self.batches += 1
+        self.meter.record(
+            f"shard-{self.shard_id}",
+            "router",
+            WIRE_HEADER_BYTES * nodes.size + WIRE_ENTRY_BYTES * out.nnz,
+        )
+        return out, infos
+
     def query_many_topk(
         self,
         nodes,
@@ -225,19 +300,24 @@ class Shard:
         *,
         batch: int = DEFAULT_BATCH,
         threshold: float | None = None,
+        sparse: bool = False,
     ) -> tuple[np.ndarray, np.ndarray, list[RouteInfo]]:
-        """Shard-side top-k: dense rows reduced before they hit the wire.
+        """Shard-side top-k: rows reduced before they hit the wire.
 
         Only the ``(rows, k)`` ids/scores ship back to the router (16
-        bytes per entry), never the dense rows — the whole point of
-        pushing the k-cut (and the ``threshold`` score cut) to the shard.
+        bytes per entry), never the rows — the whole point of pushing
+        the k-cut (and the ``threshold`` score cut) to the shard.  With
+        ``sparse=True`` the rows are served sparse and reduced by the
+        exact sparse top-k, so not even a ``(batch, n)`` dense chunk
+        exists shard-side; ids and scores are identical either way.
         """
         nodes = validate_batch(nodes, self.num_nodes)
         self.meter.record(
             "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
         )
+        serve = self._serve_sparse if sparse else self._serve_dense
         ids, scores, infos = topk_in_batches(
-            self._serve_dense, nodes, k, self.num_nodes, batch, threshold
+            serve, nodes, k, self.num_nodes, batch, threshold
         )
         self.batches += 1
         self.meter.record(

@@ -336,6 +336,29 @@ class TestBatchesAndDispatch:
                 new_index.query(w), oracle.query(w), atol=ATOL, rtol=0
             )
 
+    def test_hgpa_dropped_keys_existed_in_old_index(self, upd_graph):
+        """Receipts report only vectors the old index actually stored.
+
+        A hub promoted between levels has its old roles invalidated
+        defensively (including a leaf vector it never had); phantom keys
+        must not reach ``dropped_keys`` — the distributed runtimes'
+        targeted re-deploy looks each one up in its ownership maps.
+        """
+        index = build_hgpa_index(upd_graph, tol=1e-6, max_levels=3, seed=0)
+        rng = np.random.default_rng(99)
+        for _ in range(6):
+            u, v = _missing_edge(index.graph, rng)
+            stores = {
+                "hub": set(index.hub_partials),
+                "skel": set(index.skeleton_cols),
+                "leaf": set(index.leaf_ppv),
+            }
+            index, receipt = apply_edge_update(index, EdgeUpdate.insert(u, v))
+            for kind, node in receipt.stats.dropped_keys:
+                assert node in stores[kind], (
+                    f"dropped key ({kind}, {node}) never existed"
+                )
+
     def test_build_is_batch_size_invariant(self, upd_graph):
         """Per-column convergence makes built vectors independent of the
         build batch size — the property subset recomputes rely on."""
