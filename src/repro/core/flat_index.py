@@ -442,8 +442,10 @@ class FlatPPVIndex:
         intermediate ever exists — on pruned indexes the peak footprint
         is proportional to the result's true support.  Agrees with the
         dense path exactly (``toarray()`` equality; same accumulation
-        order, see :mod:`repro.core.sparse_ops`), with identical work
-        counters.
+        order, see :mod:`repro.core.sparse_ops`).  Work counters match
+        the dense path except ``skeleton_lookups``, which charges the
+        actual nnz skeleton entries this path reads rather than the full
+        hub-set scan of the dense path.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
@@ -458,18 +460,22 @@ class FlatPPVIndex:
             sl = slice(lo, min(lo + step, nodes.size))
             chunk = nodes[sl]
             if self.hubs.size:
+                raw = skel_csr[chunk]
                 hub_rows, pos = find_sorted(self.hubs, chunk)
-                weights = subtract_at(
-                    skel_csr[chunk], hub_rows, pos[hub_rows], self.alpha
-                )
+                weights = subtract_at(raw, hub_rows, pos[hub_rows], self.alpha)
                 level = part_csc @ scaled_transpose_csc(weights, inv_alpha)
                 level.sort_indices()
                 rows = level.T.tocsr()
                 if collect_stats:
                     counts, entries = weight_row_stats(weights, nnz_per_hub)
+                    # Sparse-aware accounting: this path never touches the
+                    # zero skeleton weights, so charge each query its
+                    # actual nnz skeleton lookups — the dense path scans
+                    # (and is charged) the full hub set.
+                    looked = np.diff(raw.indptr)
                     for k in range(chunk.size):
                         s = stats[lo + k]
-                        s.skeleton_lookups = int(self.hubs.size)
+                        s.skeleton_lookups = int(looked[k])
                         s.vectors_used = int(counts[k])
                         s.entries_processed = int(entries[k])
             else:

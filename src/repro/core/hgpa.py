@@ -226,7 +226,9 @@ class HGPAIndex:
         (``HGPA_ad``) the peak footprint is proportional to the PPVs'
         true support, which is what lets batched HGPA *beat* its
         per-query matmul path instead of matching it.  Agrees with the
-        dense path exactly (``toarray()`` equality, identical counters).
+        dense path exactly (``toarray()`` equality); counters match the
+        dense path except ``skeleton_lookups``, which charges the actual
+        nnz skeleton entries read per level rather than full hub scans.
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
@@ -289,9 +291,13 @@ class HGPAIndex:
             by_depth.setdefault(depth_of[sid], []).append((lo, level))
             if collect_stats:
                 counts, entries = weight_row_stats(weights, nnz_per_hub)
+                # Sparse-aware accounting: charge each query's actual nnz
+                # skeleton lookups at this level — the dense path scans
+                # (and is charged) the level's full hub set.
+                looked = np.diff(raw.indptr)
                 for k in range(hi - lo):
                     s = stats[order[lo + k]]
-                    s.skeleton_lookups += int(hubs.size)
+                    s.skeleton_lookups += int(looked[k])
                     s.vectors_used += int(counts[k])
                     s.entries_processed += int(entries[k])
         acc = fold_depth_blocks(by_depth, ports, nodes.size, n)

@@ -2,10 +2,13 @@
 
 Partial vectors, skeleton columns and leaf-level PPVs are sparse by
 construction (tours are blocked by hubs, so most entries are zero); queries
-accumulate them into a dense buffer.  The wire size of a vector — what a
-machine ships to the coordinator — is ``16 + 12·nnz`` bytes (header plus
-int32 index and float64 value per entry), which is what all communication
-accounting in :mod:`repro.distributed` is based on.
+accumulate them into a dense buffer.  The default wire size of a vector —
+what a machine ships to the coordinator — is ``16 + 12·nnz`` bytes (header
+plus int32 index and float64 value per entry), which is what all
+communication accounting in :mod:`repro.distributed` is based on.  Version
+2 of the codec widens indices to int64 (``16 + 20·nnz`` bytes) for graphs
+whose node ids overflow int32; the header's second slot carries the
+version, so ``from_wire`` decodes either without being told which.
 """
 
 from __future__ import annotations
@@ -14,10 +17,16 @@ import numpy as np
 
 from repro.errors import SerializationError
 
-__all__ = ["SparseVec", "WIRE_HEADER_BYTES", "WIRE_ENTRY_BYTES"]
+__all__ = [
+    "SparseVec",
+    "WIRE_HEADER_BYTES",
+    "WIRE_ENTRY_BYTES",
+    "WIRE_ENTRY_BYTES_V2",
+]
 
 WIRE_HEADER_BYTES = 16
-WIRE_ENTRY_BYTES = 12  # int32 index + float64 value
+WIRE_ENTRY_BYTES = 12  # v1: int32 index + float64 value
+WIRE_ENTRY_BYTES_V2 = 16  # v2: int64 index + float64 value
 
 _WIRE_IDX_MIN = np.iinfo(np.int32).min
 _WIRE_IDX_MAX = np.iinfo(np.int32).max
@@ -144,14 +153,23 @@ class SparseVec:
         return f"<SparseVec nnz={self.nnz} sum={self.sum():.4g}>"
 
     # ------------------------------------------------------------------
-    def to_wire(self) -> bytes:
+    def to_wire(self, *, version: int = 1) -> bytes:
         """Serialize to the wire format used between machines.
 
-        Indices travel as int32; anything outside that range cannot be
-        represented and silently wrapping it would corrupt node ids, so the
-        codec refuses instead (indices are sorted, so checking the two ends
-        covers every entry).
+        Version 1 (the default) carries indices as int32; anything outside
+        that range cannot be represented and silently wrapping it would
+        corrupt node ids, so the codec refuses instead (indices are sorted,
+        so checking the two ends covers every entry).  Version 2 widens
+        indices to int64 — 4 extra bytes per entry buy the full id range.
+        The header's second slot records the version (``0`` for the
+        historical v1 layout, ``2`` for v2), which is how :meth:`from_wire`
+        tells them apart.
         """
+        if version == 2:
+            head = np.asarray([self.nnz, 2], dtype=np.int64).tobytes()
+            return head + self.idx.astype(np.int64).tobytes() + self.val.tobytes()
+        if version != 1:
+            raise SerializationError(f"unknown wire version {version!r}")
         if self.nnz and (self.idx[0] < _WIRE_IDX_MIN or self.idx[-1] > _WIRE_IDX_MAX):
             raise SerializationError(
                 f"index out of int32 wire range: idx spans "
@@ -163,19 +181,29 @@ class SparseVec:
 
     @classmethod
     def from_wire(cls, payload: bytes) -> "SparseVec":
-        """Decode a payload produced by :meth:`to_wire`."""
+        """Decode a payload produced by :meth:`to_wire` (either version)."""
         if len(payload) < WIRE_HEADER_BYTES:
             raise SerializationError("payload shorter than header")
-        nnz = int(np.frombuffer(payload[:8], dtype=np.int64)[0])
-        expect = WIRE_HEADER_BYTES + nnz * WIRE_ENTRY_BYTES
+        head = np.frombuffer(payload, dtype=np.int64, count=2)
+        nnz, flag = int(head[0]), int(head[1])
+        if flag == 0:
+            idx_dtype, idx_bytes, entry_bytes = np.int32, 4, WIRE_ENTRY_BYTES
+        elif flag == 2:
+            idx_dtype, idx_bytes, entry_bytes = np.int64, 8, WIRE_ENTRY_BYTES_V2
+        else:
+            raise SerializationError(f"unknown wire version flag {flag}")
+        expect = WIRE_HEADER_BYTES + nnz * entry_bytes
         if len(payload) != expect:
             raise SerializationError(
                 f"payload length {len(payload)} != expected {expect}"
             )
         idx = np.frombuffer(
-            payload, dtype=np.int32, count=nnz, offset=WIRE_HEADER_BYTES
+            payload, dtype=idx_dtype, count=nnz, offset=WIRE_HEADER_BYTES
         ).astype(np.int64)
         val = np.frombuffer(
-            payload, dtype=np.float64, count=nnz, offset=WIRE_HEADER_BYTES + 4 * nnz
+            payload,
+            dtype=np.float64,
+            count=nnz,
+            offset=WIRE_HEADER_BYTES + idx_bytes * nnz,
         ).copy()
         return cls(idx, val, _trusted=True)

@@ -1,0 +1,98 @@
+"""Exportable views of the stacked query-op buffers.
+
+The query ops of every engine in this repo are a handful of flat arrays:
+a stacked partial-vector CSC, a stacked skeleton CSR and a few int
+vectors (see :meth:`repro.core.flat_index.FlatPPVIndex._ops` and
+:meth:`repro.distributed.cluster.ClusterBase._stack_ops`).  That layout —
+already ``np.shares_memory``-disciplined so store vectors can alias the
+stacked buffers — is exactly what zero-copy sharing across processes
+needs: this module provides the round trip between matrices/vector
+stores and plain named arrays, so :mod:`repro.exec.shm` can publish the
+arrays in one ``multiprocessing.shared_memory`` segment and a worker can
+rebuild byte-identical matrices as read-only views without copying.
+
+Nothing here touches shared memory itself; these helpers work on any
+buffers, which is what keeps them unit-testable in-process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.sparsevec import SparseVec
+
+__all__ = [
+    "matrix_arrays",
+    "csc_from_arrays",
+    "csr_from_arrays",
+    "pack_vectors",
+    "unpack_vectors",
+]
+
+
+def matrix_arrays(mat) -> dict[str, np.ndarray]:
+    """The three flat buffers of a CSC/CSR matrix, by canonical name."""
+    return {"data": mat.data, "indices": mat.indices, "indptr": mat.indptr}
+
+
+def _from_arrays(cls, data, indices, indptr, shape):
+    """Rebuild a compressed matrix *around* existing buffers.
+
+    The scipy constructors copy (and may downcast) index arrays; going
+    through an empty matrix and assigning the attributes keeps the given
+    arrays — typically read-only shared-memory views — as the matrix's
+    actual storage.  The stacked builders emit per-column-sorted indices
+    (SparseVec order), so the sorted flag is asserted rather than
+    recomputed: a later ``sort_indices()`` no-ops instead of attempting
+    an in-place sort of a read-only buffer.
+    """
+    mat = cls(shape)
+    mat.data = data
+    mat.indices = indices
+    mat.indptr = indptr
+    mat.has_sorted_indices = True
+    return mat
+
+
+def csc_from_arrays(data, indices, indptr, shape) -> sp.csc_matrix:
+    """Zero-copy CSC over existing (possibly read-only) buffers."""
+    return _from_arrays(sp.csc_matrix, data, indices, indptr, shape)
+
+
+def csr_from_arrays(data, indices, indptr, shape) -> sp.csr_matrix:
+    """Zero-copy CSR over existing (possibly read-only) buffers."""
+    return _from_arrays(sp.csr_matrix, data, indices, indptr, shape)
+
+
+def pack_vectors(
+    vecs: list[SparseVec],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate sparse vectors into ``(indptr, idx, val)`` flat arrays.
+
+    The inverse of :func:`unpack_vectors`; vector ``j`` occupies the
+    half-open slice ``indptr[j]:indptr[j+1]`` of ``idx``/``val``.
+    """
+    indptr = np.zeros(len(vecs) + 1, dtype=np.int64)
+    if vecs:
+        np.cumsum([v.nnz for v in vecs], out=indptr[1:])
+        idx = np.concatenate([v.idx for v in vecs])
+        val = np.concatenate([v.val for v in vecs])
+    else:
+        idx = np.empty(0, dtype=np.int64)
+        val = np.empty(0, dtype=np.float64)
+    return indptr, idx, val
+
+
+def unpack_vectors(
+    indptr: np.ndarray, idx: np.ndarray, val: np.ndarray
+) -> list[SparseVec]:
+    """Rebuild the packed vectors as trusted *views* of the flat buffers."""
+    return [
+        SparseVec(
+            idx[indptr[j] : indptr[j + 1]],
+            val[indptr[j] : indptr[j + 1]],
+            _trusted=True,
+        )
+        for j in range(indptr.size - 1)
+    ]

@@ -15,6 +15,7 @@ from repro.distributed.coordinator import Coordinator
 from repro.distributed.machine import Machine
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError
+from repro.exec.backend import ExecutionBackend, SerialBackend
 
 __all__ = ["QueryReport", "ClusterBase"]
 
@@ -77,12 +78,36 @@ class ClusterBase:
     machines: list[Machine] = field(default_factory=list)
     coordinator: Coordinator | None = None
     cost_model: CostModel = DEFAULT_COST_MODEL
+    wire_version: int = 1
 
     def init_cluster(self, num_machines: int) -> None:
         if num_machines < 1:
             raise ClusterError("need at least one machine")
         self.machines = [Machine(machine_id=i) for i in range(num_machines)]
         self.coordinator = Coordinator(num_nodes=self.num_nodes)
+
+    # ----- execution seam ----------------------------------------------
+    def init_exec(self, backend: ExecutionBackend | None) -> None:
+        """Adopt an execution backend (``None`` → a private serial one).
+
+        Machine states register lazily under generation-stamped keys; an
+        update that changes the deployment calls :meth:`_reset_exec` so
+        stale worker states (and their shared arenas) are dropped before
+        the next batch registers fresh ones.
+        """
+        self._backend = backend if backend is not None else SerialBackend()
+        self._exec_keys: dict[int, tuple] = {}
+        self._exec_arenas: list = []
+        self._exec_gen = 0
+
+    def _reset_exec(self) -> None:
+        for key in self._exec_keys.values():
+            self._backend.unregister(key)
+        self._exec_keys.clear()
+        for descriptor in self._exec_arenas:
+            self._backend.drop_arena(descriptor)
+        self._exec_arenas.clear()
+        self._exec_gen += 1
 
     # ----- deployment-wide metrics (Figs. 11 and 12) -------------------
     @property
@@ -178,7 +203,9 @@ class ClusterBase:
         wire protocol, not bookkeeping.
         """
         payloads: dict[int, bytes] = {
-            mid: SparseVec.from_dense(partials[mid]).to_wire()
+            mid: SparseVec.from_dense(partials[mid]).to_wire(
+                version=self.wire_version
+            )
             for mid in sorted(partials)
         }
         assert self.coordinator is not None
@@ -217,7 +244,8 @@ class ClusterBase:
         anywhere on the path.
         """
         payloads: dict[int, bytes] = {
-            mid: partials[mid].to_wire() for mid in sorted(partials)
+            mid: partials[mid].to_wire(version=self.wire_version)
+            for mid in sorted(partials)
         }
         assert self.coordinator is not None
         before = self.coordinator.meter.total_bytes

@@ -26,19 +26,11 @@ import scipy.sparse as sp
 
 from repro.core.flat_index import (
     DEFAULT_BATCH,
-    find_sorted,
     hub_weights,
     run_in_batches,
     validate_batch,
 )
-from repro.core.sparse_ops import (
-    point_matrix,
-    rows_matrix,
-    scaled_transpose_csc,
-    sparse_in_batches,
-    subtract_at,
-    weight_row_stats,
-)
+from repro.core.sparse_ops import sparse_in_batches
 from repro.core.gpa import GPAIndex
 from repro.core.updates import (
     UPDATE_WIRE_BYTES,
@@ -47,8 +39,14 @@ from repro.core.updates import (
     apply_edge_update,
 )
 from repro.distributed.cluster import ClusterBase, QueryReport
+from repro.distributed.machine_tasks import (
+    GPAMachineBuilder,
+    GPAMachineTask,
+    gpa_machine_arrays,
+)
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
+from repro.exec.backend import ExecutionBackend
 
 __all__ = ["DistributedGPA"]
 
@@ -62,11 +60,18 @@ class DistributedGPA(ClusterBase):
         num_machines: int,
         *,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend: ExecutionBackend | None = None,
+        wire_version: int = 1,
     ):
-        super().__init__(num_nodes=index.graph.num_nodes, cost_model=cost_model)
+        super().__init__(
+            num_nodes=index.graph.num_nodes,
+            cost_model=cost_model,
+            wire_version=wire_version,
+        )
         self.index = index
         self.epoch = 0
         self.init_cluster(num_machines)
+        self.init_exec(backend)
         self._hub_owner: dict[int, int] = {}
         self._node_owner: dict[int, int] = {}
         self._machine_owned: dict[int, np.ndarray] = {}
@@ -135,6 +140,49 @@ class DistributedGPA(ClusterBase):
         """
         return self._owners_to_map(self._node_owner, self._hub_owner)
 
+    # ----- execution seam ----------------------------------------------
+    def _exec_key(self, mid: int) -> tuple:
+        """The backend key of machine ``mid``'s task state, registering
+        it (lazily, like the stacked ops) on first use."""
+        key = self._exec_keys.get(mid)
+        if key is None:
+            key = ("gpa", id(self), self._exec_gen, mid)
+            self._backend.register(key, self._machine_builder(mid))
+            self._exec_keys[mid] = key
+        return key
+
+    def _machine_builder(self, mid: int):
+        """A state builder for machine ``mid``'s batch share.
+
+        Serial backends get a closure over the runtime's live ops and
+        store (zero extra memory); process backends get a picklable
+        builder whose arrays are published to a shared arena once —
+        per-batch IPC then carries node ids in and result blocks out.
+        """
+        if self._backend.is_local:
+
+            def build() -> GPAMachineTask:
+                return GPAMachineTask(
+                    self.index.alpha,
+                    self.num_nodes,
+                    self.index.hubs,
+                    self._ops_for(mid),
+                    self.machines[mid].store,
+                )
+
+            return build
+        ops = self._ops_for(mid)
+        part_store = {
+            u: vec
+            for (kind, u), vec in self.machines[mid].store.items()
+            if kind == "part"
+        }
+        descriptor = self._backend.create_arena(
+            gpa_machine_arrays(ops, self.index.hubs, part_store)
+        )
+        self._exec_arenas.append(descriptor)
+        return GPAMachineBuilder(descriptor, self.index.alpha, self.num_nodes)
+
     # ------------------------------------------------------------------
     def _add_own_vector(self, machine, u: int, u_is_hub: bool, acc) -> None:
         """The query node's own partial vector, on its owning machine."""
@@ -178,14 +226,17 @@ class DistributedGPA(ClusterBase):
         """Batched distributed PPVs: one sparse matmul per machine.
 
         Each machine evaluates its share of the whole batch in a single
-        ``CSC @ weights`` product; serialization, aggregation and metrics
-        then run per query (the wire protocol is unchanged — one vector
-        per machine per query).  Returns a dense ``(len(nodes), n)``
-        matrix plus the per-query reports.  ``collect_stats=False``
-        skips the per-query entry bookkeeping and report construction
-        (metering still runs — it is the protocol) and returns ``[]``.
+        ``CSC @ weights`` product (see
+        :class:`~repro.distributed.machine_tasks.GPAMachineTask` — the
+        shares are dispatched through the execution backend, so they run
+        in-process or as real worker processes); serialization,
+        aggregation and metrics then run per query (the wire protocol is
+        unchanged — one vector per machine per query).  Returns a dense
+        ``(len(nodes), n)`` matrix plus the per-query reports.
+        ``collect_stats=False`` skips the per-query entry bookkeeping and
+        report construction (metering still runs — it is the protocol)
+        and returns ``[]``.
         """
-        index = self.index
         nodes = validate_batch(nodes, self.num_nodes)
         if nodes.size == 0:
             return np.zeros((0, self.num_nodes)), []
@@ -197,41 +248,23 @@ class DistributedGPA(ClusterBase):
                 ),
                 nodes,
             )
-        hub_flags = np.zeros(nodes.size, dtype=bool)
-        hub_flags[find_sorted(index.hubs, nodes)[0]] = True
         machine_accs: dict[int, np.ndarray] = {}
         entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
         walls: dict[int, float] = {}
+        futures = {}
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
-            owned, part_csc, skel_csr, nnz_per_hub = self._ops_for(mid)
-            t0 = time.perf_counter()
-            if owned.size:
-                weights = skel_csr[nodes].toarray()
-                rows, pos = find_sorted(owned, nodes)
-                weights[rows, pos[rows]] -= index.alpha
-                acc = part_csc @ (weights.T / index.alpha)
-                if collect_stats:
-                    entries[:, mid] = (
-                        (weights != 0.0).astype(np.int64) @ nnz_per_hub
-                    )
-            else:
-                acc = np.zeros((self.num_nodes, nodes.size))
-            for k, u in enumerate(nodes.tolist()):
-                own = None
-                if hub_flags[k]:
-                    if self._hub_owner[u] == mid:
-                        own = machine.get(("hub", u))
-                        own.add_into(acc[:, k])
-                        acc[u, k] += index.alpha
-                elif self._node_owner.get(u) == mid:
-                    own = machine.get(("part", u))
-                    own.add_into(acc[:, k])
-                if own is not None and collect_stats:
-                    entries[k, mid] += own.nnz
-            machine.query_seconds = time.perf_counter() - t0
-            walls[mid] = machine.query_seconds / nodes.size
+            futures[mid] = self._backend.submit(
+                self._exec_key(mid), "dense", nodes, collect_stats
+            )
+        for machine in self.machines:
+            mid = machine.machine_id
+            acc, entry_col, wall = futures[mid].result()
+            machine.query_seconds = wall
+            walls[mid] = wall / nodes.size
+            if collect_stats:
+                entries[:, mid] = entry_col
             machine_accs[mid] = acc
         out = np.zeros((nodes.size, self.num_nodes))
         reports: list[QueryReport] = []
@@ -263,9 +296,10 @@ class DistributedGPA(ClusterBase):
         actual nnz, exactly the bytes the dense path's sparsified
         payloads weigh — and the coordinator merges them sparsely, so no
         dense ``(n, batch)`` accumulator exists on any machine or at the
-        coordinator.  Agrees with the dense path exactly.
+        coordinator.  Machine shares dispatch through the execution
+        backend like the dense path's.  Agrees with the dense path
+        exactly.
         """
-        index = self.index
         nodes = validate_batch(nodes, self.num_nodes)
         if nodes.size == 0:
             return sp.csr_matrix((0, self.num_nodes)), []
@@ -278,54 +312,23 @@ class DistributedGPA(ClusterBase):
                 nodes,
                 DEFAULT_BATCH,
             )
-        alpha = index.alpha
-        hub_flags = np.zeros(nodes.size, dtype=bool)
-        hub_flags[find_sorted(index.hubs, nodes)[0]] = True
         machine_accs: dict[int, sp.csc_matrix] = {}
         entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
         walls: dict[int, float] = {}
+        futures = {}
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
-            owned, part_csc, skel_csr, nnz_per_hub = self._ops_for(mid)
-            t0 = time.perf_counter()
-            if owned.size:
-                rows, pos = find_sorted(owned, nodes)
-                weights = subtract_at(skel_csr[nodes], rows, pos[rows], alpha)
-                # divide=True: the dense twin scales with `weights.T / alpha`.
-                acc = part_csc @ scaled_transpose_csc(weights, alpha, divide=True)
-                acc.sort_indices()
-                if collect_stats:
-                    entries[:, mid] = weight_row_stats(weights, nnz_per_hub)[1]
-            else:
-                acc = sp.csc_matrix((self.num_nodes, nodes.size))
-            own_vecs: list = [None] * nodes.size
-            alpha_rows: list[int] = []
-            alpha_cols: list[int] = []
-            for k, u in enumerate(nodes.tolist()):
-                own = None
-                if hub_flags[k]:
-                    if self._hub_owner[u] == mid:
-                        own = machine.get(("hub", u))
-                        alpha_rows.append(u)
-                        alpha_cols.append(k)
-                elif self._node_owner.get(u) == mid:
-                    own = machine.get(("part", u))
-                own_vecs[k] = own
-                if own is not None and collect_stats:
-                    entries[k, mid] += own.nnz
-            if any(v is not None for v in own_vecs):
-                acc = acc + rows_matrix(own_vecs, self.num_nodes).T.tocsc()
-            if alpha_rows:
-                acc = acc + point_matrix(
-                    np.asarray(alpha_rows),
-                    np.asarray(alpha_cols),
-                    np.full(len(alpha_rows), alpha),
-                    acc.shape,
-                    fmt="csc",
-                )
-            machine.query_seconds = time.perf_counter() - t0
-            walls[mid] = machine.query_seconds / nodes.size
+            futures[mid] = self._backend.submit(
+                self._exec_key(mid), "sparse", nodes, collect_stats
+            )
+        for machine in self.machines:
+            mid = machine.machine_id
+            acc, entry_col, wall = futures[mid].result()
+            machine.query_seconds = wall
+            walls[mid] = wall / nodes.size
+            if collect_stats:
+                entries[:, mid] = entry_col
             machine_accs[mid] = acc
         return self._collect_sparse_batch(
             nodes, machine_accs, lambda k: k, walls, entries, collect_stats
@@ -394,6 +397,9 @@ class DistributedGPA(ClusterBase):
             self._machine_ops.pop(mid, None)
         self.index = new_index
         self.epoch += 1
+        # Drop registered machine states (and their shared arenas): the
+        # next batch re-registers against the updated deployment.
+        self._reset_exec()
         return receipt.at_epoch(self.epoch)
 
     def _assign_new_hub(self, h: int) -> int:

@@ -39,16 +39,7 @@ from repro.core.flat_index import (
     validate_batch,
 )
 from repro.core.hgpa import HGPAIndex, _chain_membership
-from repro.core.sparse_ops import (
-    fold_depth_blocks,
-    point_matrix,
-    rows_matrix,
-    scaled_transpose_csc,
-    sparse_in_batches,
-    subtract_at,
-    weight_row_stats,
-    zero_rows_in_columns,
-)
+from repro.core.sparse_ops import sparse_in_batches
 from repro.core.updates import (
     UPDATE_WIRE_BYTES,
     EdgeUpdate,
@@ -56,10 +47,33 @@ from repro.core.updates import (
     apply_edge_update,
 )
 from repro.distributed.cluster import ClusterBase, QueryReport
+from repro.distributed.machine_tasks import (
+    HGPAMachineBuilder,
+    HGPAMachineTask,
+    hgpa_machine_arrays,
+)
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
+from repro.exec.backend import ExecutionBackend
+from repro.exec.states import _HierarchyHandle
 
 __all__ = ["DistributedHGPA"]
+
+
+class _LiveLevelOps:
+    """Serial-backend view of one machine's level ops: ``get`` delegates
+    to the runtime's lazy per-(machine, level) stacking, so the task sees
+    exactly what the inline loop saw — including ``None`` for levels the
+    machine owns no hub of."""
+
+    __slots__ = ("_runtime", "_mid")
+
+    def __init__(self, runtime: "DistributedHGPA", mid: int):
+        self._runtime = runtime
+        self._mid = mid
+
+    def get(self, sid: int) -> tuple | None:
+        return self._runtime._ops_for(self._mid, sid)
 
 
 class DistributedHGPA(ClusterBase):
@@ -71,11 +85,18 @@ class DistributedHGPA(ClusterBase):
         num_machines: int,
         *,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend: ExecutionBackend | None = None,
+        wire_version: int = 1,
     ):
-        super().__init__(num_nodes=index.graph.num_nodes, cost_model=cost_model)
+        super().__init__(
+            num_nodes=index.graph.num_nodes,
+            cost_model=cost_model,
+            wire_version=wire_version,
+        )
         self.index = index
         self.epoch = 0
         self.init_cluster(num_machines)
+        self.init_exec(backend)
         self._hub_owner: dict[int, int] = {}
         self._leaf_owner: dict[int, int] = {}
         self._level_owned: dict[tuple[int, int], np.ndarray] = {}
@@ -138,6 +159,60 @@ class DistributedHGPA(ClusterBase):
         array — the affinity map a sharded serving layer routes by."""
         return self._owners_to_map(self._leaf_owner, self._hub_owner)
 
+    # ----- execution seam ----------------------------------------------
+    def _exec_key(self, mid: int) -> tuple:
+        """The backend key of machine ``mid``'s task state, registering
+        it (lazily, like the stacked ops) on first use."""
+        key = self._exec_keys.get(mid)
+        if key is None:
+            key = ("hgpa", id(self), self._exec_gen, mid)
+            self._backend.register(key, self._machine_builder(mid))
+            self._exec_keys[mid] = key
+        return key
+
+    def _machine_builder(self, mid: int):
+        """A state builder for machine ``mid``'s batch share.
+
+        Serial backends get a closure whose level-ops mapping delegates
+        back to :meth:`_ops_for` — per-(machine, level) laziness is
+        preserved exactly, so a batch still only stacks the levels its
+        chains traverse.  Process backends must materialise every owned
+        level once to publish the shared arena; after that, per-batch
+        IPC carries node ids in and result blocks out.
+        """
+        if self._backend.is_local:
+
+            def build() -> HGPAMachineTask:
+                return HGPAMachineTask(
+                    self.index.alpha,
+                    self.num_nodes,
+                    self.index.hierarchy,
+                    _LiveLevelOps(self, mid),
+                    self.machines[mid].store,
+                )
+
+            return build
+        level_ops: dict[int, tuple] = {}
+        for omid, sid in sorted(self._level_owned):
+            if omid == mid:
+                level_ops[sid] = self._ops_for(mid, sid)
+        leaf_store = {
+            u: vec
+            for (kind, u), vec in self.machines[mid].store.items()
+            if kind == "leaf"
+        }
+        descriptor = self._backend.create_arena(
+            hgpa_machine_arrays(level_ops, leaf_store)
+        )
+        self._exec_arenas.append(descriptor)
+        return HGPAMachineBuilder(
+            descriptor,
+            tuple(level_ops),
+            _HierarchyHandle.from_hierarchy(self.index.hierarchy),
+            self.index.alpha,
+            self.num_nodes,
+        )
+
     # ------------------------------------------------------------------
     def query(self, u: int) -> tuple[np.ndarray, QueryReport]:
         """Distributed PPV of ``u`` plus the paper's per-query metrics."""
@@ -198,7 +273,11 @@ class DistributedHGPA(ClusterBase):
         Queries are grouped by the subgraphs their chains traverse (as in
         :meth:`repro.core.hgpa.HGPAIndex.query_many`); each machine then
         evaluates its owned share of every group in one ``CSC @ weights``
-        product.  Serialization, aggregation and metrics run per query —
+        product (see
+        :class:`~repro.distributed.machine_tasks.HGPAMachineTask` — the
+        shares dispatch through the execution backend, in-process or as
+        real worker processes).  Serialization, aggregation and metrics
+        run per query —
         the wire protocol is unchanged.  Returns a dense
         ``(len(nodes), n)`` matrix plus the per-query reports.
         ``collect_stats=False`` skips the per-query entry bookkeeping and
@@ -216,59 +295,26 @@ class DistributedHGPA(ClusterBase):
                 ),
                 nodes,
             )
-        alpha = index.alpha
-        order, members, hub_flags, _ = _chain_membership(index.hierarchy, nodes)
-        ordered = nodes[order]
+        order, _, _, _ = _chain_membership(index.hierarchy, nodes)
         inv_order = np.empty_like(order)
         inv_order[order] = np.arange(order.size)
         machine_accs: dict[int, np.ndarray] = {}
         entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
         walls: dict[int, float] = {}
+        futures = {}
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
-            level_ops = {sid: self._ops_for(mid, sid) for sid in members}
-            t0 = time.perf_counter()
-            acc = np.zeros((self.num_nodes, nodes.size))  # ordered columns
-            for sid, (lo, hi, own_list) in members.items():
-                ops = level_ops[sid]
-                if ops is None:
-                    continue
-                owned, part_csc, skel_csr, nnz_per_hub = ops
-                own_arr = np.asarray(own_list, dtype=bool)
-                qnodes = ordered[lo:hi]
-                raw = skel_csr[qnodes].toarray()
-                weights = raw.copy()
-                own_rows = np.nonzero(own_arr)[0]
-                if own_rows.size:
-                    mine, pos = find_sorted(owned, qnodes[own_rows])
-                    weights[own_rows[mine], pos[mine]] -= alpha
-                contrib = part_csc @ (weights.T / alpha)
-                rest = np.nonzero(~own_arr)[0]
-                if rest.size:
-                    level_hubs = index.hierarchy.subgraphs[sid].hubs
-                    contrib[np.ix_(level_hubs, rest)] = 0.0
-                    contrib[np.ix_(owned, rest)] = raw[rest].T
-                acc[:, lo:hi] += contrib
-                if collect_stats:
-                    entries[order[lo:hi], mid] += (
-                        (weights != 0.0).astype(np.int64) @ nnz_per_hub
-                    )
-            for k, u in enumerate(nodes.tolist()):
-                own = None
-                col = acc[:, inv_order[k]]
-                if hub_flags[k]:
-                    if self._hub_owner[u] == mid:
-                        own = machine.get(("hub", u))
-                        own.add_into(col)
-                        col[u] += alpha
-                elif self._leaf_owner.get(u) == mid:
-                    own = machine.get(("leaf", u))
-                    own.add_into(col)
-                if own is not None and collect_stats:
-                    entries[k, mid] += own.nnz
-            machine.query_seconds = time.perf_counter() - t0
-            walls[mid] = machine.query_seconds / nodes.size
+            futures[mid] = self._backend.submit(
+                self._exec_key(mid), "dense", nodes, collect_stats
+            )
+        for machine in self.machines:
+            mid = machine.machine_id
+            acc, entry_col, wall = futures[mid].result()
+            machine.query_seconds = wall
+            walls[mid] = wall / nodes.size
+            if collect_stats:
+                entries[:, mid] = entry_col
             machine_accs[mid] = acc
         out = np.zeros((nodes.size, self.num_nodes))
         reports: list[QueryReport] = []
@@ -302,7 +348,8 @@ class DistributedHGPA(ClusterBase):
         :meth:`repro.core.hgpa.HGPAIndex.query_many_sparse`), per-query
         columns ship sparse over the metered wire (actual nnz charged),
         and the coordinator merges them without a dense accumulator.
-        Agrees with the dense path exactly.
+        Machine shares dispatch through the execution backend like the
+        dense path's.  Agrees with the dense path exactly.
         """
         index = self.index
         nodes = validate_batch(nodes, self.num_nodes)
@@ -317,95 +364,26 @@ class DistributedHGPA(ClusterBase):
                 nodes,
                 DEFAULT_BATCH,
             )
-        alpha = index.alpha
-        n = self.num_nodes
-        order, members, hub_flags, depth_of = _chain_membership(
-            index.hierarchy, nodes
-        )
-        ordered = nodes[order]
+        order, _, _, _ = _chain_membership(index.hierarchy, nodes)
         inv_order = np.empty_like(order)
         inv_order[order] = np.arange(order.size)
         machine_accs: dict[int, sp.csc_matrix] = {}
         entries = np.zeros((nodes.size, self.num_machines), dtype=np.int64)
         walls: dict[int, float] = {}
+        futures = {}
         for machine in self.machines:
             machine.reset_query_counters()
             mid = machine.machine_id
-            level_ops = {sid: self._ops_for(mid, sid) for sid in members}
-            t0 = time.perf_counter()
-            # Depth-bucketed level blocks (see HGPAIndex.query_many_sparse):
-            # one sparse add per depth, per-entry order = chain order.
-            by_depth: dict[int, list[tuple[int, sp.csc_matrix]]] = {}
-            ports: dict[int, list] = {}
-            for sid, (lo, hi, own_list) in members.items():
-                ops = level_ops[sid]
-                if ops is None:
-                    continue
-                owned, part_csc, skel_csr, nnz_per_hub = ops
-                own_arr = np.asarray(own_list, dtype=bool)
-                qnodes = ordered[lo:hi]
-                raw = skel_csr[qnodes]
-                weights = raw
-                own_rows = np.nonzero(own_arr)[0]
-                if own_rows.size:
-                    mine, pos = find_sorted(owned, qnodes[own_rows])
-                    weights = subtract_at(raw, own_rows[mine], pos[mine], alpha)
-                # divide=True: the dense twin scales with `weights.T / alpha`.
-                contrib = part_csc @ scaled_transpose_csc(weights, alpha, divide=True)
-                rest = np.nonzero(~own_arr)[0]
-                if rest.size:
-                    # Distributed port repair: zero this machine's level
-                    # term at the level's hub coordinates, re-add the raw
-                    # skeleton values at its *owned* hubs (collected per
-                    # depth, added after assembly).
-                    level_hubs = index.hierarchy.subgraphs[sid].hubs
-                    rest_mask = np.zeros(hi - lo, dtype=bool)
-                    rest_mask[rest] = True
-                    zero_rows_in_columns(contrib, level_hubs, rest_mask)
-                    raw_rest = raw[rest]
-                    port_cols = lo + rest[
-                        np.repeat(
-                            np.arange(rest.size), np.diff(raw_rest.indptr)
-                        )
-                    ]
-                    ports.setdefault(depth_of[sid], []).append(
-                        (owned[raw_rest.indices], port_cols, raw_rest.data)
-                    )
-                by_depth.setdefault(depth_of[sid], []).append((lo, contrib))
-                if collect_stats:
-                    entries[order[lo:hi], mid] += weight_row_stats(
-                        weights, nnz_per_hub
-                    )[1]
-            acc = fold_depth_blocks(by_depth, ports, nodes.size, n)
-            if acc is None:
-                acc = sp.csc_matrix((n, nodes.size))
-            own_vecs: list = [None] * nodes.size
-            alpha_rows: list[int] = []
-            alpha_cols: list[int] = []
-            for k, u in enumerate(nodes.tolist()):
-                own = None
-                if hub_flags[k]:
-                    if self._hub_owner[u] == mid:
-                        own = machine.get(("hub", u))
-                        alpha_rows.append(u)
-                        alpha_cols.append(int(inv_order[k]))
-                elif self._leaf_owner.get(u) == mid:
-                    own = machine.get(("leaf", u))
-                own_vecs[int(inv_order[k])] = own
-                if own is not None and collect_stats:
-                    entries[k, mid] += own.nnz
-            if any(v is not None for v in own_vecs):
-                acc = acc + rows_matrix(own_vecs, n).T.tocsc()
-            if alpha_rows:
-                acc = acc + point_matrix(
-                    np.asarray(alpha_rows),
-                    np.asarray(alpha_cols),
-                    np.full(len(alpha_rows), alpha),
-                    acc.shape,
-                    fmt="csc",
-                )
-            machine.query_seconds = time.perf_counter() - t0
-            walls[mid] = machine.query_seconds / nodes.size
+            futures[mid] = self._backend.submit(
+                self._exec_key(mid), "sparse", nodes, collect_stats
+            )
+        for machine in self.machines:
+            mid = machine.machine_id
+            acc, entry_col, wall = futures[mid].result()
+            machine.query_seconds = wall
+            walls[mid] = wall / nodes.size
+            if collect_stats:
+                entries[:, mid] = entry_col
             machine_accs[mid] = acc
         return self._collect_sparse_batch(
             nodes,
@@ -502,6 +480,9 @@ class DistributedHGPA(ClusterBase):
                     self._level_owned.pop((mid, sid), None)
         self.index = new_index
         self.epoch += 1
+        # Drop registered machine states (and their shared arenas): the
+        # next batch re-registers against the updated deployment.
+        self._reset_exec()
         return receipt.at_epoch(self.epoch)
 
     # ------------------------------------------------------------------

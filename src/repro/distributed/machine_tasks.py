@@ -1,0 +1,366 @@
+"""One machine's share of a batched distributed query, as a task state.
+
+These are the per-machine loop bodies of
+:meth:`~repro.distributed.gpa_runtime.DistributedGPA.query_many` /
+:meth:`~repro.distributed.hgpa_runtime.DistributedHGPA.query_many` (and
+their sparse twins) lifted out of the runtimes so the *same* code runs
+behind either execution backend: in-process over the runtime's live ops
+and machine store (``SerialBackend``), or in a worker process over
+shared-memory views (``ProcessPoolBackend``, via the picklable builders
+at the bottom).  Each method returns ``(acc, entries, wall_seconds)`` —
+the machine's partial-result block, its per-query entry counts, and the
+measured compute time — and the runtime finishes the protocol exactly as
+before: per-query serialization, coordinator aggregation, reports.
+
+Ownership is store membership: the runtimes' owner dicts satisfy
+``_hub_owner[u] == mid`` iff ``("hub", u)`` is in machine ``mid``'s
+store (likewise ``("part", u)`` / ``("leaf", u)``), so a worker needs no
+owner tables — its slice of the store travels with it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.flat_index import find_sorted
+from repro.core.hgpa import _chain_membership
+from repro.core.sparse_ops import (
+    fold_depth_blocks,
+    point_matrix,
+    rows_matrix,
+    scaled_transpose_csc,
+    subtract_at,
+    weight_row_stats,
+    zero_rows_in_columns,
+)
+from repro.core.sparsevec import SparseVec
+from repro.exec.shm import ArenaDescriptor, build_ops_from_view, stacked_ops_arrays
+from repro.exec.states import (
+    _HierarchyHandle,
+    _packed_store,
+    _pack_store_arrays,
+)
+
+__all__ = [
+    "GPAMachineTask",
+    "HGPAMachineTask",
+    "GPAMachineBuilder",
+    "HGPAMachineBuilder",
+    "gpa_machine_arrays",
+    "hgpa_machine_arrays",
+]
+
+
+class GPAMachineTask:
+    """One GPA machine's batch share: stacked ops + its store slice."""
+
+    __slots__ = ("alpha", "num_nodes", "all_hubs", "ops", "store")
+
+    def __init__(self, alpha, num_nodes, all_hubs, ops, store):
+        self.alpha = alpha
+        self.num_nodes = int(num_nodes)
+        self.all_hubs = all_hubs
+        self.ops = ops  # (owned, part_csc, skel_csr, nnz_per_hub)
+        self.store = store
+
+    def dense(self, nodes: np.ndarray, collect_stats: bool):
+        owned, part_csc, skel_csr, nnz_per_hub = self.ops
+        hub_flags = np.zeros(nodes.size, dtype=bool)
+        hub_flags[find_sorted(self.all_hubs, nodes)[0]] = True
+        entries = np.zeros(nodes.size, dtype=np.int64)
+        t0 = time.perf_counter()
+        if owned.size:
+            weights = skel_csr[nodes].toarray()
+            rows, pos = find_sorted(owned, nodes)
+            weights[rows, pos[rows]] -= self.alpha
+            acc = part_csc @ (weights.T / self.alpha)
+            if collect_stats:
+                entries[:] = (weights != 0.0).astype(np.int64) @ nnz_per_hub
+        else:
+            acc = np.zeros((self.num_nodes, nodes.size))
+        for k, u in enumerate(nodes.tolist()):
+            if hub_flags[k]:
+                own = self.store.get(("hub", u))
+                if own is not None:
+                    own.add_into(acc[:, k])
+                    acc[u, k] += self.alpha
+            else:
+                own = self.store.get(("part", u))
+                if own is not None:
+                    own.add_into(acc[:, k])
+            if own is not None and collect_stats:
+                entries[k] += own.nnz
+        return acc, entries, time.perf_counter() - t0
+
+    def sparse(self, nodes: np.ndarray, collect_stats: bool):
+        owned, part_csc, skel_csr, nnz_per_hub = self.ops
+        hub_flags = np.zeros(nodes.size, dtype=bool)
+        hub_flags[find_sorted(self.all_hubs, nodes)[0]] = True
+        entries = np.zeros(nodes.size, dtype=np.int64)
+        t0 = time.perf_counter()
+        if owned.size:
+            rows, pos = find_sorted(owned, nodes)
+            weights = subtract_at(skel_csr[nodes], rows, pos[rows], self.alpha)
+            # divide=True: the dense twin scales with `weights.T / alpha`.
+            acc = part_csc @ scaled_transpose_csc(weights, self.alpha, divide=True)
+            acc.sort_indices()
+            if collect_stats:
+                entries[:] = weight_row_stats(weights, nnz_per_hub)[1]
+        else:
+            acc = sp.csc_matrix((self.num_nodes, nodes.size))
+        own_vecs: list = [None] * nodes.size
+        alpha_rows: list[int] = []
+        alpha_cols: list[int] = []
+        for k, u in enumerate(nodes.tolist()):
+            if hub_flags[k]:
+                own = self.store.get(("hub", u))
+                if own is not None:
+                    alpha_rows.append(u)
+                    alpha_cols.append(k)
+            else:
+                own = self.store.get(("part", u))
+            own_vecs[k] = own
+            if own is not None and collect_stats:
+                entries[k] += own.nnz
+        if any(v is not None for v in own_vecs):
+            acc = acc + rows_matrix(own_vecs, self.num_nodes).T.tocsc()
+        if alpha_rows:
+            acc = acc + point_matrix(
+                np.asarray(alpha_rows),
+                np.asarray(alpha_cols),
+                np.full(len(alpha_rows), self.alpha),
+                acc.shape,
+                fmt="csc",
+            )
+        return acc, entries, time.perf_counter() - t0
+
+
+class HGPAMachineTask:
+    """One HGPA machine's batch share: per-level ops + its store slice."""
+
+    __slots__ = ("alpha", "num_nodes", "hierarchy", "level_ops", "store")
+
+    def __init__(self, alpha, num_nodes, hierarchy, level_ops, store):
+        self.alpha = alpha
+        self.num_nodes = int(num_nodes)
+        self.hierarchy = hierarchy
+        # sid -> (owned, part_csc, skel_csr, nnz_per_hub), owned levels only
+        self.level_ops = level_ops
+        self.store = store
+
+    def dense(self, nodes: np.ndarray, collect_stats: bool):
+        alpha = self.alpha
+        order, members, hub_flags, _ = _chain_membership(self.hierarchy, nodes)
+        ordered = nodes[order]
+        inv_order = np.empty_like(order)
+        inv_order[order] = np.arange(order.size)
+        level_ops = {sid: self.level_ops.get(sid) for sid in members}
+        entries = np.zeros(nodes.size, dtype=np.int64)
+        t0 = time.perf_counter()
+        acc = np.zeros((self.num_nodes, nodes.size))  # ordered columns
+        for sid, (lo, hi, own_list) in members.items():
+            ops = level_ops[sid]
+            if ops is None:
+                continue
+            owned, part_csc, skel_csr, nnz_per_hub = ops
+            own_arr = np.asarray(own_list, dtype=bool)
+            qnodes = ordered[lo:hi]
+            raw = skel_csr[qnodes].toarray()
+            weights = raw.copy()
+            own_rows = np.nonzero(own_arr)[0]
+            if own_rows.size:
+                mine, pos = find_sorted(owned, qnodes[own_rows])
+                weights[own_rows[mine], pos[mine]] -= alpha
+            contrib = part_csc @ (weights.T / alpha)
+            rest = np.nonzero(~own_arr)[0]
+            if rest.size:
+                level_hubs = self.hierarchy.subgraphs[sid].hubs
+                contrib[np.ix_(level_hubs, rest)] = 0.0
+                contrib[np.ix_(owned, rest)] = raw[rest].T
+            acc[:, lo:hi] += contrib
+            if collect_stats:
+                entries[order[lo:hi]] += (
+                    (weights != 0.0).astype(np.int64) @ nnz_per_hub
+                )
+        for k, u in enumerate(nodes.tolist()):
+            col = acc[:, inv_order[k]]
+            if hub_flags[k]:
+                own = self.store.get(("hub", u))
+                if own is not None:
+                    own.add_into(col)
+                    col[u] += alpha
+            else:
+                own = self.store.get(("leaf", u))
+                if own is not None:
+                    own.add_into(col)
+            if own is not None and collect_stats:
+                entries[k] += own.nnz
+        return acc, entries, time.perf_counter() - t0
+
+    def sparse(self, nodes: np.ndarray, collect_stats: bool):
+        alpha = self.alpha
+        n = self.num_nodes
+        order, members, hub_flags, depth_of = _chain_membership(
+            self.hierarchy, nodes
+        )
+        ordered = nodes[order]
+        inv_order = np.empty_like(order)
+        inv_order[order] = np.arange(order.size)
+        level_ops = {sid: self.level_ops.get(sid) for sid in members}
+        entries = np.zeros(nodes.size, dtype=np.int64)
+        t0 = time.perf_counter()
+        # Depth-bucketed level blocks (see HGPAIndex.query_many_sparse):
+        # one sparse add per depth, per-entry order = chain order.
+        by_depth: dict[int, list[tuple[int, sp.csc_matrix]]] = {}
+        ports: dict[int, list] = {}
+        for sid, (lo, hi, own_list) in members.items():
+            ops = level_ops[sid]
+            if ops is None:
+                continue
+            owned, part_csc, skel_csr, nnz_per_hub = ops
+            own_arr = np.asarray(own_list, dtype=bool)
+            qnodes = ordered[lo:hi]
+            raw = skel_csr[qnodes]
+            weights = raw
+            own_rows = np.nonzero(own_arr)[0]
+            if own_rows.size:
+                mine, pos = find_sorted(owned, qnodes[own_rows])
+                weights = subtract_at(raw, own_rows[mine], pos[mine], alpha)
+            # divide=True: the dense twin scales with `weights.T / alpha`.
+            contrib = part_csc @ scaled_transpose_csc(weights, alpha, divide=True)
+            rest = np.nonzero(~own_arr)[0]
+            if rest.size:
+                # Distributed port repair: zero this machine's level term
+                # at the level's hub coordinates, re-add the raw skeleton
+                # values at its *owned* hubs (collected per depth, added
+                # after assembly).
+                level_hubs = self.hierarchy.subgraphs[sid].hubs
+                rest_mask = np.zeros(hi - lo, dtype=bool)
+                rest_mask[rest] = True
+                zero_rows_in_columns(contrib, level_hubs, rest_mask)
+                raw_rest = raw[rest]
+                port_cols = lo + rest[
+                    np.repeat(np.arange(rest.size), np.diff(raw_rest.indptr))
+                ]
+                ports.setdefault(depth_of[sid], []).append(
+                    (owned[raw_rest.indices], port_cols, raw_rest.data)
+                )
+            by_depth.setdefault(depth_of[sid], []).append((lo, contrib))
+            if collect_stats:
+                entries[order[lo:hi]] += weight_row_stats(
+                    weights, nnz_per_hub
+                )[1]
+        acc = fold_depth_blocks(by_depth, ports, nodes.size, n)
+        if acc is None:
+            acc = sp.csc_matrix((n, nodes.size))
+        own_vecs: list = [None] * nodes.size
+        alpha_rows: list[int] = []
+        alpha_cols: list[int] = []
+        for k, u in enumerate(nodes.tolist()):
+            if hub_flags[k]:
+                own = self.store.get(("hub", u))
+                if own is not None:
+                    alpha_rows.append(u)
+                    alpha_cols.append(int(inv_order[k]))
+            else:
+                own = self.store.get(("leaf", u))
+            own_vecs[int(inv_order[k])] = own
+            if own is not None and collect_stats:
+                entries[k] += own.nnz
+        if any(v is not None for v in own_vecs):
+            acc = acc + rows_matrix(own_vecs, n).T.tocsc()
+        if alpha_rows:
+            acc = acc + point_matrix(
+                np.asarray(alpha_rows),
+                np.asarray(alpha_cols),
+                np.full(len(alpha_rows), alpha),
+                acc.shape,
+                fmt="csc",
+            )
+        return acc, entries, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory publication + picklable worker-side builders
+
+
+def _hub_store_entries(owned: np.ndarray, part_csc) -> dict:
+    """``("hub", h)`` store entries as slices of the stacked CSC buffers
+    — the worker-side twin of ``ClusterBase._stack_ops``'s rebinding."""
+    pp = part_csc.indptr
+    return {
+        ("hub", int(h)): SparseVec(
+            part_csc.indices[pp[j] : pp[j + 1]],
+            part_csc.data[pp[j] : pp[j + 1]],
+            _trusted=True,
+        )
+        for j, h in enumerate(owned.tolist())
+    }
+
+
+def gpa_machine_arrays(ops: tuple, all_hubs: np.ndarray, part_store: dict) -> dict:
+    """Arena arrays of one GPA machine: its stacked ops, the global hub
+    set, and its owned node-partial vectors (``("part", u)`` entries)."""
+    arrays = stacked_ops_arrays(ops)
+    arrays["all_hubs"] = all_hubs
+    arrays.update(_pack_store_arrays(part_store, "own_"))
+    return arrays
+
+
+@dataclass(frozen=True)
+class GPAMachineBuilder:
+    """Picklable recipe for one GPA machine's worker-side task."""
+
+    descriptor: ArenaDescriptor
+    alpha: float
+    num_nodes: int
+
+    def __call__(self) -> GPAMachineTask:
+        view = self.descriptor.attach()
+        ops = build_ops_from_view(view, "", self.num_nodes)
+        owned, part_csc = ops[0], ops[1]
+        store = _hub_store_entries(owned, part_csc)
+        for u, vec in _packed_store(view, "own_").items():
+            store[("part", u)] = vec
+        return GPAMachineTask(
+            self.alpha, self.num_nodes, view.arrays["all_hubs"], ops, store
+        )
+
+
+def hgpa_machine_arrays(level_ops: dict, leaf_store: dict) -> dict:
+    """Arena arrays of one HGPA machine: per-owned-level stacked ops
+    (prefix ``s<sid>:``) and its leaf-PPV vectors."""
+    arrays: dict = {}
+    for sid, ops in level_ops.items():
+        arrays.update(stacked_ops_arrays(ops, prefix=f"s{sid}:"))
+    arrays.update(_pack_store_arrays(leaf_store, "own_"))
+    return arrays
+
+
+@dataclass(frozen=True)
+class HGPAMachineBuilder:
+    """Picklable recipe for one HGPA machine's worker-side task."""
+
+    descriptor: ArenaDescriptor
+    sids: tuple[int, ...]
+    hierarchy: _HierarchyHandle
+    alpha: float
+    num_nodes: int
+
+    def __call__(self) -> HGPAMachineTask:
+        view = self.descriptor.attach()
+        level_ops: dict = {}
+        store: dict = {}
+        for sid in self.sids:
+            ops = build_ops_from_view(view, f"s{sid}:", self.num_nodes)
+            level_ops[sid] = ops
+            store.update(_hub_store_entries(ops[0], ops[1]))
+        for u, vec in _packed_store(view, "own_").items():
+            store[("leaf", u)] = vec
+        return HGPAMachineTask(
+            self.alpha, self.num_nodes, self.hierarchy, level_ops, store
+        )

@@ -46,6 +46,16 @@ class UpdateError(ReproError):
     incremental updates."""
 
 
+class ExecutionError(ReproError):
+    """Raised for execution-backend failures: a closed pool, a hung or
+    crashed worker task, or an unroutable submission."""
+
+
+class WorkerDied(ExecutionError):
+    """Raised when a worker process died with work outstanding; callers
+    with replicas (the sharding layer) treat it as a failover signal."""
+
+
 class ServingError(ReproError):
     """Raised for invalid serving-layer configurations or requests."""
 

@@ -1,0 +1,33 @@
+"""The execution seam: serial or real-multiprocess query execution.
+
+:class:`SerialBackend` preserves today's in-process behavior bitwise;
+:class:`ProcessPoolBackend` runs registered states in worker processes
+that attach the stacked query buffers read-only via shared memory
+(:mod:`repro.exec.shm`), so per-query IPC carries node ids in and result
+rows out.  Both distributed runtimes and the sharding layer accept a
+``backend=`` and dispatch through this seam.
+"""
+
+from repro.exec.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.exec.shm import (
+    ArenaDescriptor,
+    ArraySpec,
+    SharedStackedOps,
+    ShmArena,
+    stacked_ops_arrays,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ArenaDescriptor",
+    "ArraySpec",
+    "SharedStackedOps",
+    "ShmArena",
+    "stacked_ops_arrays",
+]

@@ -1,0 +1,381 @@
+"""The execution seam: where a machine's (or replica's) share runs.
+
+Every layer above this module dispatches batched work the same way —
+``register`` a keyed state builder once, then ``submit(key, method,
+*args)`` per batch and resolve the returned future — so the *same*
+runtime/sharding code runs serially in-process or fanned out over real
+worker processes:
+
+* :class:`SerialBackend` builds states lazily in-process and computes at
+  submit time; it preserves today's single-threaded behavior bitwise and
+  is the default everywhere.
+* :class:`ProcessPoolBackend` runs each state in a worker process.
+  Builders are picklable values carrying
+  :class:`~repro.exec.shm.ArenaDescriptor` handles, so workers attach
+  the stacked buffers read-only via shared memory and the per-query pipe
+  traffic is node ids in, result rows out.  Keys are assigned to workers
+  round-robin in registration order (deterministic); a worker answers
+  its tasks in FIFO order, so futures resolve by pipe order.  A dead
+  worker fails its pending and future submissions with
+  :class:`~repro.errors.WorkerDied` — the sharding layer's ``mark_down``
+  failover signal — and is never respawned behind the caller's back.
+
+Both backends are context managers; ``close`` tears down workers and
+unlinks every arena the backend owns, which the test suite asserts
+leaves no child process and no ``/dev/shm`` segment behind.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import traceback
+from collections import deque
+
+from repro.errors import ExecutionError, WorkerDied
+from repro.exec.shm import ArenaDescriptor, ShmArena
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ProcessPoolBackend"]
+
+
+class ExecutionBackend:
+    """Protocol of the seam (see the module docstring).
+
+    ``is_local`` tells callers whether builders may be plain in-process
+    closures (serial) or must be picklable shared-state builders
+    (process pool); layers use it to pick which builder to register.
+    """
+
+    is_local = True
+
+    def register(self, key, builder) -> None:
+        raise NotImplementedError
+
+    def unregister(self, key) -> None:
+        raise NotImplementedError
+
+    def submit(self, key, method: str, *args):
+        raise NotImplementedError
+
+    def create_arena(self, arrays) -> ArenaDescriptor:
+        raise NotImplementedError
+
+    def memo_arena(self, memo_key, arrays_fn) -> ArenaDescriptor:
+        raise NotImplementedError
+
+    def drop_arena(self, descriptor: ArenaDescriptor) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _ReadyFuture:
+    """An already-resolved future (serial submissions compute inline)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: today's behavior, bitwise.
+
+    States build lazily on first submission (preserving the runtimes'
+    "never-queried deployments never stack" discipline) and methods run
+    inline at ``submit`` time, so the machine-order of a serial fan-out
+    is exactly the loop order of the caller.
+    """
+
+    is_local = True
+
+    def __init__(self):
+        self._builders: dict = {}
+        self._states: dict = {}
+
+    def register(self, key, builder) -> None:
+        if key in self._builders:
+            raise ExecutionError(f"duplicate registration for key {key!r}")
+        self._builders[key] = builder
+
+    def unregister(self, key) -> None:
+        self._builders.pop(key, None)
+        self._states.pop(key, None)
+
+    def submit(self, key, method: str, *args) -> _ReadyFuture:
+        state = self._states.get(key)
+        if state is None:
+            builder = self._builders.get(key)
+            if builder is None:
+                raise ExecutionError(f"no state registered for key {key!r}")
+            state = self._states[key] = builder()
+        return _ReadyFuture(getattr(state, method)(*args))
+
+    def close(self) -> None:
+        self._builders.clear()
+        self._states.clear()
+
+
+# ----------------------------------------------------------------------
+# Worker process main loop
+
+
+class _Lazy:
+    """Deferred builder call: registration stays cheap; the state (arena
+    attach + view construction) materialises on the key's first task."""
+
+    __slots__ = ("builder", "state")
+
+    def __init__(self, builder):
+        self.builder = builder
+        self.state = None
+
+    def get(self):
+        if self.state is None:
+            self.state = self.builder()
+        return self.state
+
+
+def _worker_main(conn) -> None:
+    states: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        op = msg[0]
+        if op == "register":
+            states[msg[1]] = _Lazy(msg[2])
+        elif op == "unregister":
+            states.pop(msg[1], None)
+        elif op == "submit":
+            _, task_id, key, method, args = msg
+            try:
+                state = states[key].get()
+                value = getattr(state, method)(*args)
+                conn.send(("ok", task_id, value))
+            except BaseException as exc:  # noqa: BLE001 - report, don't die
+                conn.send(
+                    ("err", task_id, repr(exc), traceback.format_exc())
+                )
+        elif op == "close":
+            break
+    conn.close()
+    # Skip interpreter teardown: live zero-copy views keep the attached
+    # segments' buffers exported, and a regular exit would spray harmless
+    # but noisy BufferErrors from SharedMemory.__del__.  The parent (or
+    # the shared resource tracker, on a crash) owns all cleanup.
+    os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+
+
+class _ProcFuture:
+    __slots__ = ("_worker", "task_id", "done", "value", "error")
+
+    def __init__(self, worker, task_id):
+        self._worker = worker
+        self.task_id = task_id
+        self.done = False
+        self.value = None
+        self.error = None
+
+    def result(self):
+        while not self.done:
+            self._worker.pump()
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class _Worker:
+    """One worker process plus its command pipe and FIFO of futures."""
+
+    def __init__(self, ctx, index: int, timeout: float):
+        self.index = index
+        self.timeout = timeout
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.proc.start()
+        child_conn.close()
+        self.pending: deque[_ProcFuture] = deque()
+        self.alive = True
+
+    def send(self, msg) -> None:
+        if not self.alive:
+            raise WorkerDied(f"worker {self.index} is dead")
+        try:
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError):
+            self.fail(f"worker {self.index} died (pipe closed on send)")
+            raise WorkerDied(f"worker {self.index} is dead") from None
+
+    def pump(self) -> None:
+        """Receive one reply and resolve the oldest pending future."""
+        if not self.alive:  # pending were already failed by fail()
+            return
+        try:
+            if not self.conn.poll(self.timeout):
+                self.proc.terminate()
+                self.fail(
+                    f"worker {self.index} timed out after {self.timeout}s"
+                )
+                return
+            msg = self.conn.recv()
+        except (EOFError, OSError):
+            self.fail(f"worker {self.index} died mid-batch")
+            return
+        fut = self.pending.popleft()
+        if msg[0] == "ok":
+            fut.value = msg[2]
+        else:
+            fut.error = ExecutionError(
+                f"worker {self.index} task failed: {msg[2]}\n{msg[3]}"
+            )
+        fut.done = True
+
+    def fail(self, reason: str) -> None:
+        """Mark dead and fail every outstanding future with WorkerDied."""
+        self.alive = False
+        while self.pending:
+            fut = self.pending.popleft()
+            fut.error = WorkerDied(reason)
+            fut.done = True
+
+    def shutdown(self, grace: float) -> None:
+        if self.alive:
+            try:
+                self.conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        self.proc.join(timeout=grace)
+        if self.proc.is_alive():  # pragma: no cover - hung worker
+            self.proc.terminate()
+            self.proc.join(timeout=grace)
+        self.conn.close()
+        self.alive = False
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Real multiprocess execution behind the seam.
+
+    ``num_workers`` worker processes are started up front (fork where
+    available, before any arena exists, so children inherit nothing they
+    should not).  Registered keys pin to workers round-robin in
+    registration order; all arenas created through the backend are owned
+    by it and unlinked at ``close``.  ``timeout`` bounds every wait on a
+    worker reply — a hung worker is terminated and surfaces as
+    :class:`~repro.errors.WorkerDied` instead of stalling the caller.
+    """
+
+    is_local = False
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        mp_context: str | None = None,
+        timeout: float = 120.0,
+    ):
+        if num_workers < 1:
+            raise ExecutionError("need at least one worker")
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        ctx = mp.get_context(mp_context)
+        self.num_workers = int(num_workers)
+        self._workers = [
+            _Worker(ctx, i, timeout) for i in range(self.num_workers)
+        ]
+        self._assignment: dict = {}
+        self._rr = 0
+        self._tasks = itertools.count()
+        self._arenas: dict[str, ShmArena] = {}
+        self._memo: dict = {}
+        self._closed = False
+
+    # ----- state registry ----------------------------------------------
+    def register(self, key, builder) -> None:
+        if key in self._assignment:
+            raise ExecutionError(f"duplicate registration for key {key!r}")
+        worker = self._workers[self._rr % self.num_workers]
+        self._rr += 1
+        self._assignment[key] = worker
+        try:
+            worker.send(("register", key, builder))
+        except WorkerDied:
+            # Leave no half-registration behind: the caller may retry the
+            # key (failover re-registers on a healthy sibling's worker).
+            del self._assignment[key]
+            raise
+
+    def unregister(self, key) -> None:
+        worker = self._assignment.pop(key, None)
+        if worker is not None and worker.alive:
+            try:
+                worker.send(("unregister", key))
+            except WorkerDied:
+                pass
+
+    def submit(self, key, method: str, *args) -> _ProcFuture:
+        worker = self._assignment.get(key)
+        if worker is None:
+            raise ExecutionError(f"no state registered for key {key!r}")
+        fut = _ProcFuture(worker, next(self._tasks))
+        worker.send(("submit", fut.task_id, key, method, args))
+        worker.pending.append(fut)
+        return fut
+
+    # ----- arena ownership ---------------------------------------------
+    def create_arena(self, arrays) -> ArenaDescriptor:
+        """Publish named arrays in a new backend-owned arena."""
+        arena = ShmArena(arrays)
+        self._arenas[arena.descriptor.shm_name] = arena
+        return arena.descriptor
+
+    def memo_arena(self, memo_key, arrays_fn) -> ArenaDescriptor:
+        """Publish once per ``memo_key`` (e.g. per shared engine object)."""
+        descriptor = self._memo.get(memo_key)
+        if descriptor is None:
+            descriptor = self.create_arena(arrays_fn())
+            self._memo[memo_key] = descriptor
+        return descriptor
+
+    def drop_arena(self, descriptor: ArenaDescriptor) -> None:
+        arena = self._arenas.pop(descriptor.shm_name, None)
+        if arena is not None:
+            arena.close()
+
+    # ----- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown(grace=5.0)
+        for arena in self._arenas.values():
+            arena.close()
+        self._arenas.clear()
+        self._memo.clear()
+        self._assignment.clear()
+
+    def __del__(self):  # pragma: no cover - safety net, tests use close()
+        try:
+            self.close()
+        except Exception:
+            pass

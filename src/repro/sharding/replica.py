@@ -22,6 +22,7 @@ import time
 import numpy as np
 
 from repro.core.updates import EdgeUpdate, UpdateReceipt
+from repro.exec.states import engine_builder
 from repro.serving.adapters import MutableBackend, as_backend, as_mutable_backend
 
 __all__ = ["Replica"]
@@ -38,6 +39,11 @@ class Replica:
         self.busy_seconds = 0.0
         self._down = False
         self._down_until: float | None = None
+        # Worker-side execution state, per (execution backend, engine
+        # epoch): None = not probed, False = engine has no shared-memory
+        # layout (serve inline), a key = registered with that backend.
+        self._exec_key = None
+        self._exec_backend = None
 
     @property
     def num_nodes(self) -> int:
@@ -60,6 +66,7 @@ class Replica:
         """
         if not callable(getattr(self.backend, "apply_update", None)):
             self.backend = as_mutable_backend(self.backend)
+        self._drop_exec()
         if isinstance(self.backend, MutableBackend):
             return self.backend.apply_update(update, shared=shared)
         return self.backend.apply_update(update)
@@ -80,6 +87,51 @@ class Replica:
         if self._down and self._down_until is not None and now >= self._down_until:
             self.mark_up()
         return not self._down
+
+    # ----- worker-side execution ---------------------------------------
+    def exec_submit(self, backend, nodes: np.ndarray, *, sparse: bool):
+        """Submit one batch to the execution backend, or ``None`` to
+        serve inline.
+
+        ``None`` means no backend was given or the engine has no
+        worker-side layout (see
+        :func:`~repro.exec.states.engine_builder`); otherwise returns a
+        future resolving to ``(matrix, wall_seconds)``.  The engine's
+        worker state registers lazily on first submit and is dropped by
+        :meth:`apply_update` — a new epoch means a new engine object,
+        republished under a fresh key.
+        """
+        if backend is None:
+            return None
+        if self._exec_backend is not backend:
+            self._drop_exec()
+            self._exec_backend = backend
+        if self._exec_key is None:
+            builder = engine_builder(self.backend, backend)
+            if builder is None:
+                self._exec_key = False
+            else:
+                key = ("replica", id(self), self.epoch, id(backend))
+                backend.register(key, builder)
+                self._exec_key = key
+        if self._exec_key is False:
+            return None
+        return backend.submit(
+            self._exec_key, "sparse" if sparse else "dense", nodes
+        )
+
+    def note_served(self, num_queries: int, seconds: float) -> None:
+        """Account a worker-served batch to this replica's load counters
+        (the worker reports its measured compute wall)."""
+        self.busy_seconds += float(seconds)
+        self.served_queries += int(num_queries)
+        self.served_batches += 1
+
+    def _drop_exec(self) -> None:
+        if self._exec_key not in (None, False) and self._exec_backend is not None:
+            self._exec_backend.unregister(self._exec_key)
+        self._exec_key = None
+        self._exec_backend = None
 
     # ----- serving ------------------------------------------------------
     def query_many(

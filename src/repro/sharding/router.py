@@ -119,11 +119,17 @@ class ShardRouter(QueryBackend):
         cache_bytes: int | None = None,
         cache_weight=None,
         clock=None,
+        backend=None,
     ):
         if not shard_engines:
             raise ShardingError("need at least one shard")
         self.clock = clock if clock is not None else SystemClock()
         self.meter = NetworkMeter()
+        # Execution seam, shared by every shard: with a process-pool
+        # backend the router's two-phase fan-out (submit to all shards,
+        # then finish in order) runs shard replicas concurrently in
+        # worker processes; the default None serves inline as before.
+        self.exec_backend = backend
         self.shards: list[Shard] = []
         for sid, group in enumerate(shard_engines):
             if not isinstance(group, (list, tuple)):
@@ -140,6 +146,7 @@ class ShardRouter(QueryBackend):
                     cache=cache,
                     meter=self.meter,
                     clock=self.clock,
+                    backend=backend,
                 )
             )
         sizes = {shard.num_nodes for shard in self.shards}
@@ -231,9 +238,15 @@ class ShardRouter(QueryBackend):
             return out, []
         assigned = self.policy.assign(nodes, self)
         self.batches += 1
-        for sid in np.unique(assigned).tolist():
+        # Two-phase fan-out: submit every shard's share before finishing
+        # any, so a process-pool backend computes the shards in parallel.
+        sids = np.unique(assigned).tolist()
+        plans = []
+        for sid in sids:
             rows = np.nonzero(assigned == sid)[0]
-            dense, shard_infos = self.shards[sid].query_many(nodes[rows])
+            plans.append((sid, rows, self.shards[sid].query_many_submit(nodes[rows])))
+        for sid, rows, plan in plans:
+            dense, shard_infos = self.shards[sid].query_many_finish(plan)
             out[rows] = dense
             for r, info in zip(rows.tolist(), shard_infos):
                 infos[r] = info
@@ -260,9 +273,16 @@ class ShardRouter(QueryBackend):
         self.batches += 1
         parts: list = []
         positions: list[np.ndarray] = []
+        # Two-phase fan-out, as in query_many: submit all, then finish
+        # in shard order so the merge stays deterministic.
+        plans = []
         for sid in np.unique(assigned).tolist():
             rows = np.nonzero(assigned == sid)[0]
-            mat, shard_infos = self.shards[sid].query_many_sparse(nodes[rows])
+            plans.append(
+                (sid, rows, self.shards[sid].query_many_sparse_submit(nodes[rows]))
+            )
+        for sid, rows, plan in plans:
+            mat, shard_infos = self.shards[sid].query_many_sparse_finish(plan)
             parts.append(mat)
             positions.append(rows)
             for r, info in zip(rows.tolist(), shard_infos):

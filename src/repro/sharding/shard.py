@@ -22,7 +22,7 @@ from repro.core.sparse_ops import row_sparsevec, rows_matrix
 from repro.core.sparsevec import WIRE_ENTRY_BYTES, WIRE_HEADER_BYTES, SparseVec
 from repro.core.updates import UPDATE_WIRE_BYTES, EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
-from repro.errors import ShardingError
+from repro.errors import ShardingError, WorkerDied
 from repro.serving.cache import PPVCache
 from repro.serving.service import SystemClock
 from repro.sharding.replica import Replica
@@ -53,6 +53,28 @@ class RouteInfo:
     epoch: int = 0
 
 
+class _PendingBatch:
+    """One routed batch between its submit and finish halves.
+
+    The router submits one of these per shard before finishing any of
+    them, so with a process-pool execution backend every shard's worker
+    computes concurrently — the real fan-out the serial loop simulates.
+    """
+
+    __slots__ = (
+        "nodes",
+        "sparse",
+        "out",
+        "row_vecs",
+        "infos",
+        "miss_rows",
+        "unique",
+        "inverse",
+        "replica",
+        "future",
+    )
+
+
 class Shard:
     """One partition's replica group behind the router."""
 
@@ -64,6 +86,7 @@ class Shard:
         cache: PPVCache | None = None,
         meter: NetworkMeter | None = None,
         clock=None,
+        backend=None,
     ):
         if not replicas:
             raise ShardingError(f"shard {shard_id} needs at least one replica")
@@ -84,6 +107,10 @@ class Shard:
         # still elapse; the router injects its own (possibly simulated)
         # clock so failover scenarios replay deterministically.
         self.clock = clock if clock is not None else SystemClock()
+        # Execution seam: None serves replicas inline (today's behavior);
+        # an ExecutionBackend offloads replica compute, with WorkerDied
+        # triggering mark_down failover to a sibling replica.
+        self.exec_backend = backend
         self.queries = 0  # rows served, cached or computed
         self.batches = 0
         self._held: set[int] | None = None
@@ -162,63 +189,69 @@ class Shard:
         return best
 
     # ----- serving ------------------------------------------------------
-    def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
-        """Dense rows for ``nodes`` via cache + chosen replica (unmetered).
+    def _submit_compute(self, unique: np.ndarray, *, sparse: bool):
+        """Pick a replica and hand it the deduplicated batch.
 
-        Rows are epoch-tagged: cache hits carry the shard's completed
-        epoch, computed rows the serving replica's.  Nodes under a
-        mid-rollout hold bypass the cache in both directions.  A sparse
-        cache entry (inserted by the sparse serving path) is densified on
-        read — same values, the two paths agree exactly.
+        Returns ``(replica, future)`` where ``future`` is ``None`` when
+        the batch will be served inline at finish time (no execution
+        backend, or an engine without a worker-side layout).  A worker
+        that died before accepting the batch marks its replica down and
+        the next healthy sibling is picked; :meth:`pick_replica` raises
+        :class:`~repro.errors.ShardingError` once none remain.
         """
-        out = np.empty((nodes.size, self.num_nodes))
-        infos: list[RouteInfo | None] = [None] * nodes.size
-        held = self._held if self._held is not None else ()
-        miss_rows: list[int] = []
-        if self.cache is not None:
-            for i, u in enumerate(nodes.tolist()):
-                hit = None if u in held else self.cache.get(u)
-                if hit is None:
-                    miss_rows.append(i)
-                else:
-                    if isinstance(hit, SparseVec):
-                        out[i] = hit.to_dense(self.num_nodes)
-                    else:
-                        out[i] = hit
-                    infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
-        else:
-            miss_rows = list(range(nodes.size))
-        if miss_rows:
-            rows = np.asarray(miss_rows, dtype=np.int64)
-            unique, inverse = np.unique(nodes[rows], return_inverse=True)
+        while True:
             replica = self.pick_replica()
-            dense, _ = replica.query_many(unique, collect_stats=False)
-            out[rows] = dense[inverse]
-            for i in miss_rows:
-                infos[i] = RouteInfo(
-                    self.shard_id, replica.replica_id, False, replica.epoch
+            try:
+                future = replica.exec_submit(
+                    self.exec_backend, unique, sparse=sparse
                 )
-            if self.cache is not None:
-                for j, u in enumerate(unique.tolist()):
-                    if u in held:
-                        continue
-                    row = dense[j].copy()
-                    row.flags.writeable = False
-                    self.cache.put(u, row)
-        self.queries += int(nodes.size)
-        return out, infos
+            except WorkerDied:
+                self.mark_down(replica.replica_id)
+                continue
+            return replica, future
 
-    def _serve_sparse(self, nodes: np.ndarray) -> tuple:
-        """Sparse rows for ``nodes`` via cache + chosen replica (unmetered).
+    def _finish_compute(self, replica, future, unique: np.ndarray, *, sparse: bool):
+        """Resolve one submitted batch, failing over on worker death.
 
-        The sparse twin of :meth:`_serve_dense`: replica answers arrive
-        as CSR rows, the cache stores :class:`SparseVec` entries at their
-        true-nnz byte cost (a dense entry inserted by the dense path is
-        sparsified on read), and the batch is returned as one CSR matrix
-        whose ``toarray()`` equals the dense path's result exactly.
+        A :class:`~repro.errors.WorkerDied` from the future marks the
+        serving replica down and resubmits the same batch to a sibling —
+        the caller never observes a partial answer.  Successful worker
+        batches charge the worker's measured compute wall to the replica
+        via :meth:`~repro.sharding.replica.Replica.note_served`.
         """
-        row_vecs: list[SparseVec | None] = [None] * nodes.size
-        infos: list[RouteInfo | None] = [None] * nodes.size
+        while True:
+            if future is None:
+                if sparse:
+                    result, _ = replica.query_many_sparse(
+                        unique, collect_stats=False
+                    )
+                else:
+                    result, _ = replica.query_many(unique, collect_stats=False)
+                return result, replica
+            try:
+                result, wall = future.result()
+            except WorkerDied:
+                self.mark_down(replica.replica_id)
+                replica, future = self._submit_compute(unique, sparse=sparse)
+                continue
+            replica.note_served(int(unique.size), wall)
+            return result, replica
+
+    def _plan(self, nodes: np.ndarray, *, sparse: bool) -> _PendingBatch:
+        """Submit half of one batch: cache scan, then replica hand-off.
+
+        Cache hits are resolved immediately (dense path densifies sparse
+        entries on read, sparse path sparsifies dense entries — same
+        values either way); the deduplicated misses are submitted via
+        :meth:`_submit_compute`.  Nodes under a mid-rollout hold bypass
+        the cache in both directions.
+        """
+        plan = _PendingBatch()
+        plan.nodes = nodes
+        plan.sparse = sparse
+        plan.out = None if sparse else np.empty((nodes.size, self.num_nodes))
+        plan.row_vecs = [None] * nodes.size if sparse else None
+        plan.infos = [None] * nodes.size
         held = self._held if self._held is not None else ()
         miss_rows: list[int] = []
         if self.cache is not None:
@@ -226,33 +259,130 @@ class Shard:
                 hit = None if u in held else self.cache.get(u)
                 if hit is None:
                     miss_rows.append(i)
-                else:
-                    row_vecs[i] = (
+                elif sparse:
+                    plan.row_vecs[i] = (
                         hit
                         if isinstance(hit, SparseVec)
                         else SparseVec.from_dense(hit)
                     )
-                    infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
+                    plan.infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
+                else:
+                    if isinstance(hit, SparseVec):
+                        plan.out[i] = hit.to_dense(self.num_nodes)
+                    else:
+                        plan.out[i] = hit
+                    plan.infos[i] = RouteInfo(self.shard_id, -1, True, self.epoch)
         else:
             miss_rows = list(range(nodes.size))
+        plan.miss_rows = miss_rows
         if miss_rows:
             rows = np.asarray(miss_rows, dtype=np.int64)
-            unique, inverse = np.unique(nodes[rows], return_inverse=True)
-            replica = self.pick_replica()
-            mat, _ = replica.query_many_sparse(unique, collect_stats=False)
-            unique_vecs = [row_sparsevec(mat, j) for j in range(unique.size)]
-            for pos, i in enumerate(miss_rows):
-                row_vecs[i] = unique_vecs[inverse[pos]]
-                infos[i] = RouteInfo(
-                    self.shard_id, replica.replica_id, False, replica.epoch
-                )
-            if self.cache is not None:
-                for j, u in enumerate(unique.tolist()):
-                    if u in held:
-                        continue
-                    self.cache.put(u, unique_vecs[j])
-        self.queries += int(nodes.size)
-        return rows_matrix(row_vecs, self.num_nodes), infos
+            plan.unique, plan.inverse = np.unique(
+                nodes[rows], return_inverse=True
+            )
+            plan.replica, plan.future = self._submit_compute(
+                plan.unique, sparse=sparse
+            )
+        else:
+            plan.unique = plan.inverse = None
+            plan.replica = plan.future = None
+        return plan
+
+    def _finish(self, plan: _PendingBatch) -> tuple:
+        """Finish half of one batch: resolve, scatter, fill the cache.
+
+        Rows are epoch-tagged: cache hits carry the shard's completed
+        epoch, computed rows the serving replica's.  The sparse return
+        is one CSR matrix whose ``toarray()`` equals the dense path's
+        result exactly.
+        """
+        if plan.miss_rows:
+            result, replica = self._finish_compute(
+                plan.replica, plan.future, plan.unique, sparse=plan.sparse
+            )
+            held = self._held if self._held is not None else ()
+            info = RouteInfo(
+                self.shard_id, replica.replica_id, False, replica.epoch
+            )
+            if plan.sparse:
+                unique_vecs = [
+                    row_sparsevec(result, j) for j in range(plan.unique.size)
+                ]
+                for pos, i in enumerate(plan.miss_rows):
+                    plan.row_vecs[i] = unique_vecs[plan.inverse[pos]]
+                    plan.infos[i] = info
+                if self.cache is not None:
+                    for j, u in enumerate(plan.unique.tolist()):
+                        if u in held:
+                            continue
+                        self.cache.put(u, unique_vecs[j])
+            else:
+                rows = np.asarray(plan.miss_rows, dtype=np.int64)
+                plan.out[rows] = result[plan.inverse]
+                for i in plan.miss_rows:
+                    plan.infos[i] = info
+                if self.cache is not None:
+                    for j, u in enumerate(plan.unique.tolist()):
+                        if u in held:
+                            continue
+                        row = result[j].copy()
+                        row.flags.writeable = False
+                        self.cache.put(u, row)
+        self.queries += int(plan.nodes.size)
+        if plan.sparse:
+            return rows_matrix(plan.row_vecs, self.num_nodes), plan.infos
+        return plan.out, plan.infos
+
+    def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
+        """Dense rows for ``nodes`` via cache + chosen replica (unmetered)."""
+        return self._finish(self._plan(nodes, sparse=False))
+
+    def _serve_sparse(self, nodes: np.ndarray) -> tuple:
+        """Sparse rows for ``nodes`` via cache + chosen replica (unmetered)."""
+        return self._finish(self._plan(nodes, sparse=True))
+
+    def query_many_submit(self, nodes) -> _PendingBatch:
+        """Start one routed dense batch: meter the request leg, scan the
+        cache and submit the misses; resolve with
+        :meth:`query_many_finish`.  The router submits to every shard
+        before finishing any, so shard workers overlap."""
+        nodes = validate_batch(nodes, self.num_nodes)
+        self.meter.record(
+            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
+        )
+        return self._plan(nodes, sparse=False)
+
+    def query_many_finish(
+        self, plan: _PendingBatch
+    ) -> tuple[np.ndarray, list[RouteInfo]]:
+        """Finish a batch from :meth:`query_many_submit`, metering the
+        dense ``8n``-byte response rows."""
+        out, infos = self._finish(plan)
+        self.batches += 1
+        self.meter.record(f"shard-{self.shard_id}", "router", out.nbytes)
+        return out, infos
+
+    def query_many_sparse_submit(self, nodes) -> _PendingBatch:
+        """Sparse twin of :meth:`query_many_submit`."""
+        nodes = validate_batch(nodes, self.num_nodes)
+        self.meter.record(
+            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
+        )
+        return self._plan(nodes, sparse=True)
+
+    def query_many_sparse_finish(self, plan: _PendingBatch) -> tuple:
+        """Finish a batch from :meth:`query_many_sparse_submit`, metering
+        each response row at its sparse wire size (``16 + 12·nnz``
+        bytes) — on pruned indexes a fraction of the dense ``8n``-byte
+        rows, which is the bandwidth win of the sparse pipeline."""
+        out, infos = self._finish(plan)
+        self.batches += 1
+        self.meter.record(
+            f"shard-{self.shard_id}",
+            "router",
+            WIRE_HEADER_BYTES * plan.nodes.size + WIRE_ENTRY_BYTES * out.nnz,
+        )
+        return out, infos
 
     def query_many(self, nodes) -> tuple[np.ndarray, list[RouteInfo]]:
         """Serve one routed batch of dense PPV rows, metering the wire.
@@ -260,38 +390,15 @@ class Shard:
         Request: ``8`` bytes per node id; response: one dense ``8n``-byte
         row per query — what a real router↔shard link would carry.
         """
-        nodes = validate_batch(nodes, self.num_nodes)
-        self.meter.record(
-            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
-        )
-        out, infos = self._serve_dense(nodes)
-        self.batches += 1
-        self.meter.record(
-            f"shard-{self.shard_id}", "router", out.nbytes
-        )
-        return out, infos
+        return self.query_many_finish(self.query_many_submit(nodes))
 
     def query_many_sparse(self, nodes) -> tuple:
         """Serve one routed batch as sparse CSR rows, metering the wire.
 
         Request: ``8`` bytes per node id; response: one *sparse* row per
-        query at its wire size (``16 + 12·nnz`` bytes) — on pruned
-        indexes a fraction of the dense ``8n``-byte rows the dense path
-        ships, which is the router↔shard bandwidth win of the sparse
-        pipeline.
+        query at its wire size (``16 + 12·nnz`` bytes).
         """
-        nodes = validate_batch(nodes, self.num_nodes)
-        self.meter.record(
-            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
-        )
-        out, infos = self._serve_sparse(nodes)
-        self.batches += 1
-        self.meter.record(
-            f"shard-{self.shard_id}",
-            "router",
-            WIRE_HEADER_BYTES * nodes.size + WIRE_ENTRY_BYTES * out.nnz,
-        )
-        return out, infos
+        return self.query_many_sparse_finish(self.query_many_sparse_submit(nodes))
 
     def query_many_topk(
         self,

@@ -8,6 +8,9 @@ loudly.
 
 from __future__ import annotations
 
+import glob
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -26,6 +29,17 @@ from repro.graph import (
 
 TIGHT_TOL = 1e-10
 EXACT_ATOL = 5e-8
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_exec_leaks():
+    """Suite-wide guard: the execution seam must leave no worker process
+    and no shared-memory segment behind once the tests are done."""
+    yield
+    leaked = glob.glob("/dev/shm/repro-shm-*")
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+    children = mp.active_children()
+    assert not children, f"leaked worker processes: {children}"
 
 
 @pytest.fixture(scope="session")

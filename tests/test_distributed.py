@@ -273,3 +273,26 @@ class TestDeployment:
     def test_cluster_needs_machines(self, hgpa_small):
         with pytest.raises(ClusterError):
             DistributedHGPA(hgpa_small, 0)
+
+
+class TestWireVersion:
+    """The runtimes' ``wire_version=2`` flag: identical answers, int64-id
+    payloads on the machine→coordinator leg (16 bytes/entry vs 12)."""
+
+    @pytest.mark.parametrize("runtime_cls", [DistributedGPA, DistributedHGPA])
+    def test_v2_results_identical_bytes_larger(self, request, runtime_cls):
+        index = request.getfixturevalue(
+            "gpa_small" if runtime_cls is DistributedGPA else "hgpa_small"
+        )
+        nodes = np.arange(0, 12)
+        v1 = runtime_cls(index, 4)
+        v2 = runtime_cls(index, 4, wire_version=2)
+        d1, rep1 = v1.query_many(nodes)
+        d2, rep2 = v2.query_many(nodes)
+        assert np.array_equal(d1, d2)
+        m1, _ = v1.query_many_sparse(nodes)
+        m2, _ = v2.query_many_sparse(nodes)
+        assert np.array_equal(m1.toarray(), m2.toarray())
+        total_v1 = sum(r.communication_bytes for r in rep1)
+        total_v2 = sum(r.communication_bytes for r in rep2)
+        assert total_v2 > total_v1  # 16-byte entries vs 12-byte

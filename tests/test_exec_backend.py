@@ -1,0 +1,240 @@
+"""The execution seam: shared arenas, process workers, exactness, failover.
+
+The contracts under test are the seam's non-negotiables: a
+:class:`ProcessPoolBackend` answer is *bitwise* equal to the serial one
+(same buffers, same scipy kernels, same bits) for both distributed
+runtimes and the shard router; arena descriptors pickle into zero-copy
+read-only views; a dead worker surfaces as :class:`WorkerDied` and the
+sharding layer fails over via ``mark_down``; and closing a backend leaves
+no child process and no ``/dev/shm`` segment behind (also asserted
+suite-wide by the ``no_exec_leaks`` fixture in ``conftest.py``).
+"""
+
+import glob
+import multiprocessing as mp
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.updates import EdgeUpdate
+from repro.distributed import DistributedGPA, DistributedHGPA
+from repro.errors import ExecutionError, ShardingError, WorkerDied
+from repro.exec import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedStackedOps,
+    ShmArena,
+)
+from repro.sharding.router import ShardRouter
+
+
+def _shm_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro-shm-*")
+
+
+def _query_nodes(num_nodes: int, size: int = 24, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, num_nodes, size=size)
+
+
+def assert_csr_bitwise(a, b) -> None:
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.data, b.data)
+
+
+class _SleepyState:
+    """A worker state guaranteed to be mid-task when its worker is
+    killed — makes the died-mid-batch path deterministic to test."""
+
+    def nap(self, seconds: float) -> str:
+        time.sleep(seconds)
+        return "done"
+
+
+def _sleepy_builder() -> _SleepyState:
+    return _SleepyState()
+
+
+@pytest.fixture
+def pool():
+    backend = ProcessPoolBackend(2)
+    yield backend
+    backend.close()
+
+
+class TestArena:
+    def test_descriptor_pickle_roundtrip_preserves_readonly_views(self):
+        arrays = {
+            "a": np.arange(7, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 5),
+            "c": np.arange(6, dtype=np.float64).reshape(2, 3),
+        }
+        with ShmArena(arrays) as arena:
+            descriptor = pickle.loads(pickle.dumps(arena.descriptor))
+            view = descriptor.attach()
+            for name, arr in arrays.items():
+                got = view.arrays[name]
+                assert np.array_equal(got, arr)
+                assert got.dtype == arr.dtype and got.shape == arr.shape
+                # zero-copy view of the segment, not of the originals
+                assert not np.shares_memory(got, arr)
+                assert not got.flags.writeable
+                with pytest.raises(ValueError):
+                    got[...] = 0
+        assert not _shm_segments()
+
+    def test_shared_stacked_ops_roundtrip(self, gpa_small):
+        part_csc, skel_csr, nnz_per_hub = gpa_small._ops()
+        ops = (gpa_small.hubs, part_csc, skel_csr, nnz_per_hub)
+        arena, shared = SharedStackedOps.publish(ops, gpa_small.graph.num_nodes)
+        with arena:
+            back = pickle.loads(pickle.dumps(shared))
+            owned, got_csc, got_csr, got_nnz = back.ops
+            assert np.array_equal(owned, gpa_small.hubs)
+            assert_csr_bitwise(got_csc, part_csc)
+            assert_csr_bitwise(got_csr, skel_csr)
+            assert np.array_equal(got_nnz, nnz_per_hub)
+            assert got_csc.shape == part_csc.shape
+            assert not got_csc.data.flags.writeable
+        assert not _shm_segments()
+
+    def test_close_is_idempotent(self):
+        arena = ShmArena({"x": np.ones(3)})
+        arena.close()
+        arena.close()
+        assert not _shm_segments()
+
+
+class TestBackendRegistry:
+    def test_serial_duplicate_key_rejected(self):
+        backend = SerialBackend()
+        backend.register("k", lambda: None)
+        with pytest.raises(ExecutionError, match="duplicate"):
+            backend.register("k", lambda: None)
+
+    def test_serial_missing_key_rejected(self):
+        with pytest.raises(ExecutionError, match="no state"):
+            SerialBackend().submit("missing", "dense")
+
+    def test_process_pool_needs_a_worker(self):
+        with pytest.raises(ExecutionError, match="at least one"):
+            ProcessPoolBackend(0)
+
+    def test_context_manager_cleans_up(self):
+        with ProcessPoolBackend(2) as backend:
+            backend.create_arena({"x": np.arange(4, dtype=np.float64)})
+            assert _shm_segments()
+        assert not _shm_segments()
+        assert not mp.active_children()
+
+
+class TestRuntimeBitwise:
+    """Process-pool runtimes equal serial ones bit for bit."""
+
+    @pytest.mark.parametrize("family", ["gpa", "hgpa"])
+    def test_distributed_runtime_matches_serial(self, request, family):
+        index = request.getfixturevalue(f"{family}_small")
+        runtime_cls = DistributedGPA if family == "gpa" else DistributedHGPA
+        nodes = _query_nodes(index.graph.num_nodes)
+        serial = runtime_cls(index, 4)
+        d0, rep0 = serial.query_many(nodes)
+        s0, _ = serial.query_many_sparse(nodes)
+        with ProcessPoolBackend(2) as pool:
+            dist = runtime_cls(index, 4, backend=pool)
+            d1, rep1 = dist.query_many(nodes)
+            s1, _ = dist.query_many_sparse(nodes)
+            assert np.array_equal(d0, d1)
+            assert_csr_bitwise(s0, s1)
+            for a, b in zip(rep0, rep1):
+                assert a.per_machine_entries == b.per_machine_entries
+                assert a.communication_bytes == b.communication_bytes
+
+    def test_router_matches_serial(self, gpa_small):
+        nodes = _query_nodes(gpa_small.graph.num_nodes, size=30, seed=1)
+        serial = ShardRouter([[gpa_small, gpa_small]] * 2)
+        d0, i0 = serial.query_many(nodes)
+        s0, _ = serial.query_many_sparse(nodes)
+        ids0, scores0, _ = serial.query_many_topk(nodes, 5, sparse=True)
+        with ProcessPoolBackend(2) as pool:
+            router = ShardRouter([[gpa_small, gpa_small]] * 2, backend=pool)
+            d1, i1 = router.query_many(nodes)
+            s1, _ = router.query_many_sparse(nodes)
+            ids1, scores1, _ = router.query_many_topk(nodes, 5, sparse=True)
+            assert np.array_equal(d0, d1)
+            assert_csr_bitwise(s0, s1)
+            assert np.array_equal(ids0, ids1)
+            assert np.array_equal(scores0, scores1)
+            assert i0 == i1  # same replica picks, same epochs
+            assert serial.meter.total_bytes == router.meter.total_bytes
+
+    def test_router_update_then_query_matches_serial(self, gpa_small):
+        nodes = _query_nodes(gpa_small.graph.num_nodes, size=16, seed=2)
+        update = EdgeUpdate.insert(0, gpa_small.graph.num_nodes - 1)
+        serial = ShardRouter([[gpa_small]])
+        serial.apply_update(update)
+        d0, _ = serial.query_many(nodes)
+        with ProcessPoolBackend(2) as pool:
+            router = ShardRouter([[gpa_small]], backend=pool)
+            router.query_many(nodes)  # publish the epoch-0 engine first
+            receipt = router.apply_update(update)
+            d1, infos = router.query_many(nodes)
+            assert np.array_equal(d0, d1)
+            if receipt.changed:
+                assert all(info.epoch == 1 for info in infos)
+
+
+class TestFailover:
+    def _router(self, engine, pool):
+        return ShardRouter([[engine, engine]], backend=pool)
+
+    def test_worker_death_mid_batch_fails_over(self, gpa_small, pool):
+        nodes = _query_nodes(gpa_small.graph.num_nodes, size=20, seed=3)
+        d0, _ = ShardRouter([[gpa_small, gpa_small]]).query_many(nodes)
+        router = self._router(gpa_small, pool)
+        shard = router.shards[0]
+        plan = shard.query_many_submit(nodes)
+        victim = plan.replica
+        worker = pool._assignment[victim._exec_key]
+        worker.proc.kill()
+        worker.proc.join()
+        out, infos = shard.query_many_finish(plan)
+        survivor = 1 - victim.replica_id
+        assert not victim.is_up(shard.clock.now())
+        assert all(info.replica == survivor for info in infos)
+        assert np.array_equal(out, d0)
+
+    def test_worker_death_on_submit_fails_over(self, gpa_small, pool):
+        nodes = _query_nodes(gpa_small.graph.num_nodes, size=12, seed=4)
+        router = self._router(gpa_small, pool)
+        shard = router.shards[0]
+        shard.query_many(nodes)  # register both replicas' worker states
+        shard.query_many(nodes)
+        victim = shard.replicas[0]
+        worker = pool._assignment[victim._exec_key]
+        worker.proc.kill()
+        worker.proc.join()
+        out, infos = shard.query_many(nodes)
+        assert not victim.is_up(shard.clock.now())
+        assert all(info.replica == 1 for info in infos)
+
+    def test_every_replica_down_raises(self, gpa_small, pool):
+        nodes = _query_nodes(gpa_small.graph.num_nodes, size=8, seed=5)
+        router = self._router(gpa_small, pool)
+        router.query_many(nodes)
+        for worker in pool._workers:
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join()
+        with pytest.raises(ShardingError, match="marked down"):
+            router.shards[0].query_many(nodes)
+
+    def test_dead_worker_future_raises_worker_died(self, pool):
+        pool.register("sleeper", _sleepy_builder)
+        future = pool.submit("sleeper", "nap", 60.0)
+        worker = pool._assignment["sleeper"]
+        worker.proc.kill()
+        worker.proc.join()
+        with pytest.raises(WorkerDied):
+            future.result()

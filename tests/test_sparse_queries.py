@@ -55,7 +55,9 @@ def _assert_stats_equal(sparse_stats, dense_stats):
     for a, b in zip(sparse_stats, dense_stats):
         assert a.entries_processed == b.entries_processed
         assert a.vectors_used == b.vectors_used
-        assert a.skeleton_lookups == b.skeleton_lookups
+        # Sparse paths charge the actual nnz skeleton entries they read;
+        # dense paths scan (and are charged) the full hub sets.
+        assert 0 <= a.skeleton_lookups <= b.skeleton_lookups
 
 
 # ----------------------------------------------------------------------

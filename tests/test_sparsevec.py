@@ -6,7 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import SparseVec
-from repro.core.sparsevec import WIRE_ENTRY_BYTES, WIRE_HEADER_BYTES
+from repro.core.sparsevec import (
+    WIRE_ENTRY_BYTES,
+    WIRE_ENTRY_BYTES_V2,
+    WIRE_HEADER_BYTES,
+)
 from repro.errors import SerializationError
 
 
@@ -159,6 +163,71 @@ class TestWire:
         """The space metric is size accounting, not serialization."""
         v = SparseVec(np.array([2**31 + 5]), np.array([1.0]))
         assert v.wire_bytes == WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES
+
+
+class TestWireV2:
+    """The int64-id wire format behind ``to_wire(version=2)``."""
+
+    def test_roundtrip(self):
+        v = SparseVec(np.arange(5), np.linspace(0.1, 0.5, 5))
+        assert SparseVec.from_wire(v.to_wire(version=2)) == v
+
+    def test_payload_size(self):
+        v = SparseVec(np.arange(3), np.ones(3))
+        assert len(v.to_wire(version=2)) == (
+            WIRE_HEADER_BYTES + 3 * WIRE_ENTRY_BYTES_V2
+        )
+
+    def test_empty_roundtrip(self):
+        assert SparseVec.from_wire(SparseVec.empty().to_wire(version=2)).nnz == 0
+
+    def test_huge_index_needs_v2(self):
+        """The whole point of v2: ids beyond int32 (graphs past 2**31
+        nodes) serialize, where v1 refuses."""
+        v = SparseVec(np.array([2**40]), np.array([1.0]))
+        with pytest.raises(SerializationError, match="int32 wire range"):
+            v.to_wire()
+        back = SparseVec.from_wire(v.to_wire(version=2))
+        assert back.idx.tolist() == [2**40]
+
+    def test_version_autodetected_from_header(self):
+        v = SparseVec(np.array([7]), np.array([2.0]))
+        assert SparseVec.from_wire(v.to_wire(version=1)) == v
+        assert SparseVec.from_wire(v.to_wire(version=2)) == v
+
+    def test_unknown_write_version_rejected(self):
+        with pytest.raises(SerializationError, match="wire version"):
+            SparseVec.empty().to_wire(version=3)
+
+    def test_unknown_header_flag_rejected(self):
+        payload = bytearray(SparseVec.one_hot(1).to_wire(version=2))
+        payload[8:16] = np.int64(9).tobytes()
+        with pytest.raises(SerializationError, match="wire version"):
+            SparseVec.from_wire(bytes(payload))
+
+    def test_truncated_v2_payload_rejected(self):
+        payload = SparseVec.one_hot(1).to_wire(version=2)
+        with pytest.raises(SerializationError):
+            SparseVec.from_wire(payload[:-4])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**62),
+                st.floats(
+                    allow_nan=False, allow_infinity=False, width=64,
+                    min_value=-1e12, max_value=1e12,
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_v2_roundtrip(self, pairs):
+        idx = np.array([p[0] for p in pairs], dtype=np.int64)
+        val = np.array([p[1] for p in pairs], dtype=np.float64)
+        v = SparseVec(idx, val)
+        assert SparseVec.from_wire(v.to_wire(version=2)) == v
 
 
 class TestImmutability:
