@@ -1,3 +1,29 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-exact-ppr",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Distributed Algorithms on Exact Personalized "
+        "PageRank' (SIGMOD 2017): exact PPV indexes, a simulated "
+        "share-nothing cluster, and a sharded serving stack"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    install_requires=["numpy", "scipy"],
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+        "Typing :: Typed",
+    ],
+)

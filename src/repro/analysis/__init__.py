@@ -1,0 +1,47 @@
+"""Project-specific static analysis: machine-checked exactness invariants.
+
+Every guarantee this reproduction makes — bitwise-equal incremental
+rebuilds, exact sparse==dense query paths, metered wire bytes,
+deterministic replay under ``SimulatedClock`` — depends on coding
+conventions that runtime tests only probe for particular seeds.  This
+package checks them *statically*, on every file, before a
+hash-seed-dependent iteration order or an unmetered send ever reaches
+CI:
+
+- **RPR001** nondeterministic iteration / clock / unseeded randomness in
+  the exactness-critical packages (``core``, ``distributed``,
+  ``sharding``, ``exec``);
+- **RPR002** wire-payload construction without a
+  :class:`~repro.distributed.network.NetworkMeter` charge in the same
+  function (``distributed``, ``sharding``);
+- **RPR003** mutation of shared read-only buffers (``SparseVec.idx`` /
+  ``.val``, stacked CSC/CSR ``data``/``indices``/``indptr``) outside
+  their owning constructors;
+- **RPR004** float accumulation over unordered containers in ``core``
+  (summation order must not depend on the hash seed);
+- **RPR005** bare/blanket ``except`` and builtin-exception raises on
+  public API boundaries (library errors must derive from
+  :class:`~repro.errors.ReproError`).
+
+Run it as ``python -m repro.analysis src``; a committed per-file
+baseline (``analysis-baseline.json``) lets the tool gate CI while known
+findings are burned down incrementally.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisResult, analyze_paths, analyze_source
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, Rule, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "rules_by_id",
+]

@@ -1,0 +1,107 @@
+"""Committed per-file baseline: land the tool before the tree is clean.
+
+The baseline is a JSON file mapping each path to its accepted findings.
+Matching is by ``(path, rule, stripped source line)`` with multiplicity
+— line numbers are recorded for humans but ignored by matching, so
+unrelated edits that shift a file don't invalidate its entries, while
+touching the offending line itself resurfaces the finding.
+
+The contract is *exact*: fresh findings not in the baseline fail the
+run, and baseline entries no longer produced ("stale" — the code got
+fixed, or the rule changed) fail it too, forcing the file to shrink in
+the same commit.  ``--write-baseline`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+__all__ = ["Baseline", "BaselineMatch", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """The outcome of checking fresh findings against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """Accepted findings, keyed by ``(path, rule, snippet)``."""
+
+    def __init__(self, entries: dict[str, list[dict[str, object]]]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != _FORMAT_VERSION:
+            raise AnalysisError(
+                f"unsupported baseline version {payload.get('version')!r}"
+            )
+        entries = payload.get("findings", {})
+        if not isinstance(entries, dict):
+            raise AnalysisError("baseline 'findings' must be an object")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[str, list[dict[str, object]]] = {}
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            entries.setdefault(finding.path, []).append(
+                {
+                    "rule": finding.rule,
+                    "line": finding.line,
+                    "snippet": finding.snippet,
+                }
+            )
+        return cls(entries)
+
+    def dump(self, path: str | Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "repro.analysis",
+            "findings": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def match(self, findings: list[Finding]) -> BaselineMatch:
+        budget: Counter[tuple[str, str, str]] = Counter()
+        for path, entries in self.entries.items():
+            for entry in entries:
+                budget[(path, str(entry["rule"]), str(entry["snippet"]))] += 1
+        result = BaselineMatch()
+        for finding in findings:
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                result.suppressed.append(finding)
+            else:
+                result.new.append(finding)
+        for (path, rule, snippet), count in sorted(budget.items()):
+            for _ in range(count):
+                result.stale.append(
+                    {"path": path, "rule": rule, "snippet": snippet}
+                )
+        return result

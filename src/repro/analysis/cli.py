@@ -1,0 +1,161 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes: ``0`` clean (every finding baselined), ``1`` new findings
+or stale baseline entries, ``2`` usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineMatch
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import ALL_RULES, rules_by_id
+from repro.errors import AnalysisError
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static checks for this repo's exactness invariants "
+        "(determinism, metered wire traffic, shared-buffer safety, "
+        "accumulation order, error discipline).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to scan"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def _resolve_baseline_path(arg: str | None) -> Path | None:
+    if arg is not None:
+        return Path(arg)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.exists() else None
+
+
+def _print_text(
+    match: BaselineMatch, errors: list[str], files: int, out: IO[str]
+) -> None:
+    for finding in match.new:
+        print(finding.render(), file=out)
+    for entry in match.stale:
+        print(
+            f"stale baseline entry: {entry['path']}: {entry['rule']} "
+            f"`{entry['snippet']}` no longer reported — shrink the baseline "
+            "(rerun with --write-baseline)",
+            file=out,
+        )
+    for error in errors:
+        print(f"error: {error}", file=out)
+    summary = (
+        f"{files} file(s) checked: {len(match.new)} finding(s), "
+        f"{len(match.suppressed)} baselined, {len(match.stale)} stale"
+    )
+    print(summary, file=out)
+
+
+def _print_json(
+    match: BaselineMatch, errors: list[str], files: int, out: IO[str]
+) -> None:
+    payload = {
+        "files_checked": files,
+        "findings": [f.to_json() for f in match.new],
+        "baselined": [f.to_json() for f in match.suppressed],
+        "stale_baseline": match.stale,
+        "errors": errors,
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.segments) if rule.segments else "all packages"
+            print(f"{rule.rule_id}  {rule.title}  [{scope}]")
+        return EXIT_CLEAN
+    try:
+        rules = rules_by_id(args.rules)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return EXIT_ERROR
+
+    result = analyze_paths(args.paths, rules)
+
+    baseline_path = _resolve_baseline_path(args.baseline)
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else Path(
+            DEFAULT_BASELINE_NAME
+        )
+        Baseline.from_findings(result.findings).dump(target)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {target}",
+            file=sys.stdout,
+        )
+        return EXIT_CLEAN if not result.errors else EXIT_ERROR
+
+    if args.no_baseline or baseline_path is None:
+        baseline = Baseline.empty()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, AnalysisError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    match = baseline.match(result.findings)
+
+    if args.format == "json":
+        _print_json(match, result.errors, result.files_checked, sys.stdout)
+    else:
+        _print_text(match, result.errors, result.files_checked, sys.stdout)
+    if result.errors:
+        return EXIT_ERROR
+    return EXIT_CLEAN if match.clean else EXIT_FINDINGS

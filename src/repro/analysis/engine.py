@@ -1,0 +1,86 @@
+"""Drive the rules over files and collect findings."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.rules.base import ModuleContext
+
+__all__ = ["AnalysisResult", "analyze_paths", "analyze_source", "iter_python_files"]
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus the parse failures encountered along the way."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "AnalysisResult") -> None:
+        self.findings.extend(other.findings)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+
+
+def _select_rules(rules: Sequence[Rule] | None) -> Sequence[Rule]:
+    return ALL_RULES if rules is None else rules
+
+
+def analyze_source(
+    source: str, path: str, rules: Sequence[Rule] | None = None
+) -> AnalysisResult:
+    """Run the rules over one module's source text.
+
+    ``path`` is the (posix, preferably relative) path reported in
+    findings; its segments also decide which rules consider the module
+    in scope.
+    """
+    result = AnalysisResult()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+        return result
+    ctx = ModuleContext(path=path, tree=tree, lines=source.splitlines())
+    result.files_checked = 1
+    for rule in _select_rules(rules):
+        if rule.applies_to(ctx):
+            result.findings.extend(rule.check(ctx))
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files beneath them."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" in sub.parts:
+                    continue
+                yield sub
+        else:
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> AnalysisResult:
+    """Run the rules over every ``.py`` file under ``paths``."""
+    result = AnalysisResult()
+    for file_path in iter_python_files(paths):
+        rel = str(PurePosixPath(*file_path.parts))
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.errors.append(f"{rel}: unreadable: {exc}")
+            continue
+        result.extend(analyze_source(source, rel, rules))
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result

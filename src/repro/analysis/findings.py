@@ -1,0 +1,51 @@
+"""The unit of linter output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``snippet`` is the stripped source line — it is what baseline
+    matching keys on (together with ``path`` and ``rule``), so a finding
+    stays suppressed when unrelated edits shift its line number but
+    resurfaces the moment the offending line itself changes.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    snippet: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}\n"
+            f"    {self.snippet}\n"
+            f"    hint: {self.hint}"
+        )

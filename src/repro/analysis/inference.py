@@ -1,0 +1,195 @@
+"""Lightweight intra-function type shapes shared by the determinism rules.
+
+The rules only ever need to answer one question precisely enough to be
+useful: *does this expression iterate in hash order?*  That means
+telling ``set``-typed values apart from everything else — a set's
+iteration order depends on ``PYTHONHASHSEED``, while lists, arrays and
+(insertion-ordered) dicts iterate deterministically when built
+deterministically.  A fixpoint over a function's assignments is plenty:
+names bound to set literals, ``set()``/``frozenset()`` calls, set
+operators and set-returning methods are set-typed; so are parameters
+and targets annotated ``set[...]``/``frozenset[...]``/``AbstractSet``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def annotation_is_set(node: ast.expr | None) -> bool:
+    """True for ``set``/``frozenset``/``Set[...]``-shaped annotations."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return annotation_is_set(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in SET_ANNOTATIONS
+    if isinstance(node, ast.Attribute):  # typing.Set, typing.AbstractSet
+        return node.attr in SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return False
+        return annotation_is_set(parsed.body)
+    return False
+
+
+class SetTracker:
+    """Set-typed names of one scope (a function body, or a module)."""
+
+    def __init__(self, names: frozenset[str]) -> None:
+        self.names = names
+
+    def is_set(self, node: ast.expr) -> bool:
+        """Is ``node`` a set-typed expression under this scope's names?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) or self.is_set(node.orelse)
+        return False
+
+
+def _assignment_pairs(
+    scope: ast.AST,
+) -> Iterator[tuple[str, ast.expr | None, ast.expr | None]]:
+    """Yield ``(name, value, annotation)`` for every name binding in
+    ``scope``, *excluding* bindings inside nested function/class defs
+    (those are their own scopes)."""
+    for node in iter_scope_nodes(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id, node.value, None
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                yield node.target.id, node.value, node.annotation
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                yield node.target.id, node.value, None
+
+
+def iter_scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function/class defs.
+
+    The scope node itself is not yielded (so a function's own body is
+    walked even though the function is a def).
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def set_tracker_for(scope: ast.AST) -> SetTracker:
+    """Infer the set-typed names of one scope by fixpoint.
+
+    ``scope`` is a function def or a module.  Parameters annotated as
+    sets seed the fixpoint; each round re-evaluates the scope's
+    assignments against the names known so far, so chains like
+    ``a = set(); b = a | other`` converge in a couple of rounds.
+    """
+    names: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]:
+            if annotation_is_set(arg.annotation):
+                names.add(arg.arg)
+    pairs = list(_assignment_pairs(scope))
+    for _ in range(len(pairs) + 1):
+        tracker = SetTracker(frozenset(names))
+        grew = False
+        for name, value, annotation in pairs:
+            if name in names:
+                continue
+            if annotation_is_set(annotation) or (
+                value is not None and tracker.is_set(value)
+            ):
+                names.add(name)
+                grew = True
+        if not grew:
+            break
+    return SetTracker(frozenset(names))
+
+
+def iteration_sites(scope: ast.AST) -> Iterator[tuple[ast.expr, ast.AST]]:
+    """Order-sensitive iteration sites of one scope.
+
+    Yields ``(iterable_expr, report_node)`` for ``for`` loops,
+    comprehension generators, and ``list()``/``tuple()``/``enumerate()``
+    calls — the places where an unordered container's hash order leaks
+    into program output.  ``sorted(...)``/``min``/``max``/``len`` are
+    order-insensitive and never yielded.
+    """
+    for node in iter_scope_nodes(scope):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                yield gen.iter, node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "tuple", "enumerate")
+                and node.args
+            ):
+                yield node.args[0], node
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` as ``"a.b.c"``, or ``None`` for non-name chains."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    cur: ast.expr = node
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        return cur.id
+    return None

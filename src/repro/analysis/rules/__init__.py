@@ -1,0 +1,45 @@
+"""Rule registry: every invariant check the analyzer knows about."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.accumulation import FloatAccumulationOrderRule
+from repro.analysis.rules.base import ModuleContext, Rule
+from repro.analysis.rules.boundaries import BoundaryErrorsRule
+from repro.analysis.rules.buffers import SharedBufferMutationRule
+from repro.analysis.rules.determinism import NondeterministicIterationRule
+from repro.analysis.rules.metering import UnmeteredCommunicationRule
+from repro.errors import AnalysisError
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleContext",
+    "Rule",
+    "rules_by_id",
+]
+
+ALL_RULES: tuple[Rule, ...] = (
+    NondeterministicIterationRule(),
+    UnmeteredCommunicationRule(),
+    SharedBufferMutationRule(),
+    FloatAccumulationOrderRule(),
+    BoundaryErrorsRule(),
+)
+
+
+def rules_by_id(ids: str | None) -> tuple[Rule, ...]:
+    """Resolve a comma-separated id list (``"RPR001,RPR004"``) to rules.
+
+    ``None`` or an empty string selects every rule; unknown ids raise
+    :class:`~repro.errors.AnalysisError` naming the known set.
+    """
+    if not ids:
+        return ALL_RULES
+    wanted = [part.strip().upper() for part in ids.split(",") if part.strip()]
+    known = {rule.rule_id: rule for rule in ALL_RULES}
+    unknown = [rid for rid in wanted if rid not in known]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return tuple(known[rid] for rid in wanted)

@@ -1,0 +1,101 @@
+"""Rule protocol and the per-module context rules operate on."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from repro.analysis.findings import Finding
+
+__all__ = ["ModuleContext", "Rule"]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module: path, AST, and source lines.
+
+    Scoping is by path segment (``has_segment("core")`` matches both
+    ``src/repro/core/...`` and a fixture under
+    ``tests/analysis_fixtures/core/...``), so the fixture suite
+    exercises every rule without mimicking the real tree layout.
+    """
+
+    path: str
+    tree: ast.Module
+    lines: list[str]
+    _functions: list[tuple[ast.AST, tuple[ast.AST, ...]]] | None = field(
+        default=None, repr=False
+    )
+
+    def has_segment(self, *names: str) -> bool:
+        parts = PurePosixPath(self.path).parts
+        return any(name in parts for name in names)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def scopes(self) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+        """Every function scope plus the module scope, with ancestry.
+
+        Yields ``(scope_node, enclosing)`` where ``enclosing`` is the
+        chain of enclosing class/function defs, outermost first.  The
+        module itself is yielded first with an empty chain.
+        """
+        if self._functions is None:
+            collected: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [(self.tree, ())]
+
+            def visit(node: ast.AST, chain: tuple[ast.AST, ...]) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        collected.append((child, chain))
+                        visit(child, chain + (child,))
+                    elif isinstance(child, ast.ClassDef):
+                        visit(child, chain + (child,))
+                    else:
+                        visit(child, chain)
+
+            visit(self.tree, ())
+            self._functions = collected
+        return iter(self._functions)
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, hint: str | None = None
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.rule_id,
+            path=self.path,
+            line=line,
+            col=col + 1,
+            message=message,
+            hint=hint if hint is not None else rule.hint,
+            snippet=self.snippet(line),
+        )
+
+
+class Rule:
+    """One invariant check.
+
+    Subclasses set ``rule_id``/``title``/``hint`` and implement
+    :meth:`check`; ``applies_to`` narrows the rule to the packages whose
+    correctness contract it guards.
+    """
+
+    rule_id: str = "RPR000"
+    title: str = ""
+    hint: str = ""
+    #: Path segments the rule applies to; empty means every module.
+    segments: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not self.segments:
+            return True
+        return ctx.has_segment(*self.segments)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        raise NotImplementedError

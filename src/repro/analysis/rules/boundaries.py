@@ -1,0 +1,134 @@
+"""RPR005 — exception discipline on API boundaries.
+
+The library's contract (:mod:`repro.errors`) is that every intentional
+failure derives from :class:`~repro.errors.ReproError`, so callers catch
+library errors with one clause while programming errors propagate.
+Three patterns break it: a bare ``except:`` (swallows KeyboardInterrupt
+and masks real bugs), a blanket ``except Exception: pass`` (silently
+eats failures — allowed only in ``__del__``/``__exit__`` teardown), and
+raising a builtin exception (``ValueError``/``KeyError``/...) from a
+*public* function, which forces callers to guess which builtin each
+engine throws.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule
+
+__all__ = ["BoundaryErrorsRule"]
+
+_BUILTIN_RAISES = frozenset(
+    {
+        "ValueError",
+        "KeyError",
+        "RuntimeError",
+        "IndexError",
+        "Exception",
+        "AssertionError",
+        "ArithmeticError",
+        "LookupError",
+    }
+)
+_BLANKET = frozenset({"Exception", "BaseException"})
+_TEARDOWN_FUNCS = frozenset({"__del__", "__exit__", "__aexit__"})
+
+
+def _exception_name(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _exception_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class BoundaryErrorsRule(Rule):
+    rule_id = "RPR005"
+    title = "exception discipline on API boundaries"
+    hint = (
+        "raise a ReproError subclass (GraphError, QueryError, "
+        "ClusterError, ...) and catch specific exceptions — callers rely "
+        "on `except ReproError` covering every library failure"
+    )
+    segments = ()  # the error contract is library-wide
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for scope, chain in ctx.scopes():
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if any(
+                isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for anc in chain
+            ):
+                continue  # audited as part of the enclosing function
+            public = not scope.name.startswith("_")
+            for node in ast.walk(scope):
+                if isinstance(node, ast.ExceptHandler):
+                    findings.extend(self._check_handler(ctx, scope, node))
+                elif isinstance(node, ast.Raise) and public:
+                    name = _exception_name(node.exc)
+                    if name in _BUILTIN_RAISES:
+                        findings.append(
+                            ctx.finding(
+                                self,
+                                node,
+                                f"public API '{scope.name}' raises builtin "
+                                f"{name} instead of a ReproError subclass",
+                            )
+                        )
+        return findings
+
+    def _check_handler(
+        self,
+        ctx: ModuleContext,
+        scope: ast.FunctionDef | ast.AsyncFunctionDef,
+        handler: ast.ExceptHandler,
+    ) -> list[Finding]:
+        if handler.type is None:
+            return [
+                ctx.finding(
+                    self,
+                    handler,
+                    "bare except: catches KeyboardInterrupt/SystemExit and "
+                    "masks real failures",
+                    hint="catch the specific exception, or ReproError for "
+                    "any library failure",
+                )
+            ]
+        names = set()
+        if isinstance(handler.type, ast.Tuple):
+            for elt in handler.type.elts:
+                names.add(_exception_name(elt))
+        else:
+            names.add(_exception_name(handler.type))
+        if names & _BLANKET and self._swallows(handler):
+            if scope.name in _TEARDOWN_FUNCS:
+                return []  # best-effort teardown may ignore failures
+            return [
+                ctx.finding(
+                    self,
+                    handler,
+                    f"blanket except {'/'.join(sorted(n for n in names if n))} "
+                    "silently swallows failures",
+                    hint="narrow the exception type, or re-raise / surface "
+                    "the failure (teardown dunders are exempt)",
+                )
+            ]
+        return []
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        """True when the handler body neither raises nor does anything."""
+        for stmt in handler.body:
+            if not isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                if isinstance(stmt, ast.Expr) and isinstance(
+                    stmt.value, ast.Constant
+                ):
+                    continue  # docstring / ellipsis
+                return False
+        return True

@@ -1,0 +1,143 @@
+"""RPR003 — mutation of shared read-only buffers.
+
+:class:`~repro.core.sparsevec.SparseVec` arrays, stacked CSC/CSR query
+ops, cache entries and shared-memory arena views all share buffers by
+design — ``scaled``/``pruned`` vectors alias their parents, machine
+stores are rebound as views into stacked matrices, and worker processes
+attach the same segment read-only.  One in-place write through any of
+those aliases corrupts every other holder, bitwise-exactness first.
+The rule flags writes to the well-known buffer fields (``idx``/``val``
+on vectors, ``data``/``indices``/``indptr`` on scipy matrices) through
+objects the function does not own, and any re-enabling of numpy's
+``writeable`` flag.
+
+Ownership is syntactic: a receiver whose base name was assigned in the
+same function (a freshly built matrix, a ``.copy()``) is considered
+owned and may be mutated; ``self`` is owned only inside ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.inference import iter_scope_nodes, root_name
+from repro.analysis.rules.base import ModuleContext, Rule
+
+__all__ = ["SharedBufferMutationRule"]
+
+_VEC_FIELDS = frozenset({"idx", "val"})
+_MATRIX_FIELDS = frozenset({"data", "indices", "indptr"})
+_BUFFER_FIELDS = _VEC_FIELDS | _MATRIX_FIELDS
+
+
+def _owned_names(scope: ast.AST) -> frozenset[str]:
+    names: set[str] = set()
+    for node in iter_scope_nodes(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    names.add(item.optional_vars.id)
+    return frozenset(names)
+
+
+class SharedBufferMutationRule(Rule):
+    rule_id = "RPR003"
+    title = "shared-buffer mutation"
+    hint = (
+        "SparseVec/stacked-ops buffers are shared read-only views; copy "
+        "before mutating (arr = arr.copy()) or build the change in the "
+        "owning constructor"
+    )
+    segments = ()  # buffers are shared across every package
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for scope, chain in ctx.scopes():
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_init = scope.name == "__init__" and any(
+                isinstance(anc, ast.ClassDef) for anc in chain
+            )
+            owned = _owned_names(scope)
+            for node in iter_scope_nodes(scope):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        findings.extend(
+                            self._check_target(ctx, tgt, owned, in_init, node)
+                        )
+                elif isinstance(node, ast.AugAssign):
+                    findings.extend(
+                        self._check_target(ctx, node.target, owned, in_init, node)
+                    )
+        return findings
+
+    def _check_target(
+        self,
+        ctx: ModuleContext,
+        target: ast.expr,
+        owned: frozenset[str],
+        in_init: bool,
+        stmt: ast.AST,
+    ) -> list[Finding]:
+        buffer_attr = self._buffer_attr(target)
+        if buffer_attr is None:
+            return []
+        attr_node, field_name = buffer_attr
+        if field_name == "writeable":
+            value = stmt.value if isinstance(stmt, ast.Assign) else None
+            if not (isinstance(value, ast.Constant) and value.value is True):
+                return []  # freezing (= False) is always fine
+            return [
+                ctx.finding(
+                    self,
+                    stmt,
+                    "re-enables writes on a read-only buffer "
+                    "(.flags.writeable = True)",
+                    hint="never unfreeze a shared array — copy it instead",
+                )
+            ]
+        base = root_name(attr_node)
+        if base == "self":
+            if in_init:
+                return []
+        elif base is not None and base in owned:
+            return []
+        return [
+            ctx.finding(
+                self,
+                stmt,
+                f"writes .{field_name} of an object this function does not "
+                "own — the buffer may be a shared read-only view",
+            )
+        ]
+
+    @staticmethod
+    def _buffer_attr(target: ast.expr) -> tuple[ast.expr, str] | None:
+        """Classify an assignment target as a buffer write.
+
+        Returns ``(receiver_chain, field)`` for ``X.val = ...``,
+        ``X.data[...] = ...`` and ``X.flags.writeable = True``-shaped
+        targets, else ``None``.
+        """
+        if isinstance(target, ast.Attribute):
+            if target.attr == "writeable" and isinstance(
+                target.value, ast.Attribute
+            ):
+                if target.value.attr == "flags":
+                    return target, "writeable"
+            if target.attr in _BUFFER_FIELDS:
+                return target, target.attr
+            return None
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            if target.value.attr in _BUFFER_FIELDS:
+                return target.value, target.value.attr
+        return None

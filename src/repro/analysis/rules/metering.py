@@ -1,0 +1,79 @@
+"""RPR002 — unmetered communication in the distributed/sharded layers.
+
+Every byte that crosses a simulated machine boundary is accounted on a
+:class:`~repro.distributed.network.NetworkMeter` — the paper's
+communication figures (and the serving layer's bandwidth claims) are
+*those counters*, so a payload built or decoded without a meter charge
+in reach silently under-reports traffic.  The check is per function: a
+function that touches the wire codec (``to_wire``/``from_wire``) or
+prices a payload (``wire_bytes``) must also touch a meter (read or
+``record`` a ``meter`` attribute) in the same function body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleContext, Rule
+
+__all__ = ["UnmeteredCommunicationRule"]
+
+_WIRE_CALLS = frozenset({"to_wire", "from_wire"})
+_WIRE_READS = frozenset({"wire_bytes", "wire_bytes_at"})
+
+
+class UnmeteredCommunicationRule(Rule):
+    rule_id = "RPR002"
+    title = "unmetered communication"
+    hint = (
+        "charge the bytes on the NetworkMeter in this function "
+        "(meter.record(sender, receiver, nbytes)) or read the meter's "
+        "counters around the transfer — unmetered sends corrupt the "
+        "paper's communication figures"
+    )
+    segments = ("distributed", "sharding")
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for scope, chain in ctx.scopes():
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if any(
+                isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for anc in chain
+            ):
+                # Nested defs are audited as part of their enclosing
+                # function: a metered closure factory is fine.
+                continue
+            events: list[tuple[ast.AST, str]] = []
+            metered = False
+            for node in ast.walk(scope):
+                if isinstance(node, ast.Attribute):
+                    if "meter" in node.attr.lower():
+                        metered = True
+                    elif node.attr in _WIRE_READS and isinstance(
+                        node.ctx, ast.Load
+                    ):
+                        events.append((node, f"reads .{node.attr}"))
+                elif isinstance(node, ast.Name) and "meter" in node.id.lower():
+                    metered = True
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in _WIRE_CALLS:
+                        events.append((node, f"calls .{node.func.attr}()"))
+                    elif node.func.attr == "record":
+                        metered = True
+            if metered or not events:
+                continue
+            for node, what in events:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"{what} but never touches a NetworkMeter in "
+                        f"'{scope.name}' — wire traffic goes unaccounted",
+                    )
+                )
+        return findings

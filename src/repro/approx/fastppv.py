@@ -115,7 +115,7 @@ class FastPPVIndex:
 
     def query_many(
         self,
-        nodes,
+        nodes: np.ndarray,
         *,
         max_expansions: int | None = None,
         frontier_cutoff: float | None = None,
@@ -177,7 +177,7 @@ class FastPPVIndex:
 
     def query_many_sparse(
         self,
-        nodes,
+        nodes: np.ndarray,
         *,
         max_expansions: int | None = None,
         frontier_cutoff: float | None = None,
@@ -228,7 +228,7 @@ class FastPPVIndex:
 
     def query_many_topk(
         self,
-        nodes,
+        nodes: np.ndarray,
         k: int,
         *,
         batch: int = DEFAULT_BATCH,

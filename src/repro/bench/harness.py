@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro import datasets
@@ -164,7 +166,12 @@ def zipf_stream(
 
 
 def time_queries(
-    query_fn, queries, *, repeat: int = 1, batched: bool = False, warmup: bool = True
+    query_fn: Callable,
+    queries: np.ndarray,
+    *,
+    repeat: int = 1,
+    batched: bool = False,
+    warmup: bool = True,
 ) -> float:
     """Median wall seconds per query of ``query_fn`` over the query set.
 

@@ -19,7 +19,9 @@ subgraph — the space win of Section 3.2.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -119,7 +121,9 @@ def find_sorted(
     return rows, pos
 
 
-def validate_batch(nodes, num_nodes: int) -> np.ndarray:
+def validate_batch(
+    nodes: Sequence[int] | np.ndarray, num_nodes: int
+) -> np.ndarray:
     """Normalize and range-check a ``query_many`` node batch.
 
     Only genuine integer ids are accepted — coercing floats would
@@ -139,8 +143,10 @@ def validate_batch(nodes, num_nodes: int) -> np.ndarray:
 
 
 def run_in_batches(
-    query_many_fn, nodes: np.ndarray, batch: int = DEFAULT_BATCH
-) -> tuple[np.ndarray, list]:
+    query_many_fn: Callable[[np.ndarray], tuple[np.ndarray, list[Any]]],
+    nodes: np.ndarray,
+    batch: int = DEFAULT_BATCH,
+) -> tuple[np.ndarray, list[Any]]:
     """Evaluate a ``query_many``-style callable one ``batch`` at a time.
 
     Bounds the dense intermediates of the wrapped engine at
@@ -242,13 +248,13 @@ def topk_rows_reference(
 
 
 def topk_in_batches(
-    query_many_fn,
+    query_many_fn: Callable[[np.ndarray], tuple[Any, list[Any]]],
     nodes: np.ndarray,
     k: int,
     num_nodes: int,
     batch: int = DEFAULT_BATCH,
     threshold: float | None = None,
-) -> tuple[np.ndarray, np.ndarray, list]:
+) -> tuple[np.ndarray, np.ndarray, list[Any]]:
     """Chunked top-k reduction over a ``query_many``-style callable.
 
     Evaluates ``batch`` queries at a time and reduces each chunk to its
@@ -267,7 +273,7 @@ def topk_in_batches(
     k_eff = min(k, num_nodes)
     ids = np.empty((nodes.size, k_eff), dtype=np.int64)
     scores = np.empty((nodes.size, k_eff))
-    metas: list = []
+    metas: list[Any] = []
     step = max(1, batch)
     for lo in range(0, nodes.size, step):
         sl = slice(lo, min(lo + step, nodes.size))
@@ -305,8 +311,8 @@ class FlatPPVIndex:
     hub_partials: dict[int, SparseVec] = field(default_factory=dict)
     skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
     node_partials: dict[int, SparseVec] = field(default_factory=dict)
-    build_cost: dict[tuple, float] = field(default_factory=dict)
-    _ops_cache: tuple | None = field(default=None, repr=False)
+    build_cost: dict[tuple[Any, ...], float] = field(default_factory=dict)
+    _ops_cache: tuple[Any, ...] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     def is_hub(self, u: int) -> bool:
@@ -317,7 +323,7 @@ class FlatPPVIndex:
         """Drop the stacked-matrix cache (call after mutating the stores)."""
         self._ops_cache = None
 
-    def _ops(self) -> tuple:
+    def _ops(self) -> tuple[Any, ...]:
         """Cached (stacked hub-partial CSC, stacked skeleton CSR, nnz/hub).
 
         The hub partials become the columns of one ``(n, |H|)`` CSC matrix
@@ -380,7 +386,7 @@ class FlatPPVIndex:
 
     def query_many(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         *,
         batch: int | None = DEFAULT_BATCH,
         collect_stats: bool = True,
@@ -429,7 +435,7 @@ class FlatPPVIndex:
 
     def query_many_sparse(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         *,
         batch: int | None = DEFAULT_BATCH,
         collect_stats: bool = True,
@@ -542,7 +548,7 @@ class FlatPPVIndex:
 
     def query_many_topk(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         k: int,
         *,
         batch: int = DEFAULT_BATCH,

@@ -22,7 +22,9 @@ hub's own (unadjusted) partial vector when ``u`` was selected as a hub.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -77,8 +79,8 @@ class HGPAIndex:
     hub_partials: dict[int, SparseVec] = field(default_factory=dict)
     skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
     leaf_ppv: dict[int, SparseVec] = field(default_factory=dict)
-    build_cost: dict[tuple, float] = field(default_factory=dict)
-    _level_ops_cache: dict[int, tuple] = field(default_factory=dict, repr=False)
+    build_cost: dict[tuple[Any, ...], float] = field(default_factory=dict)
+    _level_ops_cache: dict[int, tuple[Any, ...]] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     def query(self, u: int) -> np.ndarray:
@@ -119,7 +121,7 @@ class HGPAIndex:
             self.leaf_ppv[u].add_into(acc)
         return acc
 
-    def _level_ops(self, sid: int) -> tuple:
+    def _level_ops(self, sid: int) -> tuple[Any, ...]:
         """Cached (stacked hub partials CSC, stacked skeleton CSR, hubs)."""
         cached = self._level_ops_cache.get(sid)
         if cached is not None:
@@ -140,7 +142,10 @@ class HGPAIndex:
         self._level_ops_cache.clear()
 
     def query_many(
-        self, nodes, *, collect_stats: bool = True
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        *,
+        collect_stats: bool = True,
     ) -> tuple[np.ndarray, list[QueryStats]]:
         """Batched exact PPVs (Eq. 6): one sparse matmul per level group.
 
@@ -213,7 +218,10 @@ class HGPAIndex:
         return out, stats
 
     def query_many_sparse(
-        self, nodes, *, collect_stats: bool = True
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        *,
+        collect_stats: bool = True,
     ) -> tuple[sp.csr_matrix, list[QueryStats]]:
         """Batched exact PPVs as a CSR ``(len(nodes), n)`` matrix.
 
@@ -348,7 +356,7 @@ class HGPAIndex:
 
     def query_many_topk(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         k: int,
         *,
         batch: int = DEFAULT_BATCH,
@@ -481,7 +489,7 @@ def _chain_membership(
         ),
         dtype=np.int64,
     )
-    members: dict[int, list] = {}
+    members: dict[int, list[Any]] = {}
     depth_of: dict[int, int] = {}
     for pos, i in enumerate(order.tolist()):
         chain = chains[i]
@@ -553,7 +561,7 @@ def build_hgpa_index(
     return index
 
 
-def build_hgpa_ad_index(graph: DiGraph, **kwargs) -> HGPAIndex:
+def build_hgpa_ad_index(graph: DiGraph, **kwargs: Any) -> HGPAIndex:
     """HGPA_ad — HGPA with offline scores below ``1e-4`` discarded."""
     kwargs.setdefault("prune", 1e-4)
     return build_hgpa_index(graph, **kwargs)

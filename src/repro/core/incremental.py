@@ -22,6 +22,8 @@ old one; the old index stays valid for the old graph.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,9 +57,9 @@ class UpdateStats:
     rebuilt_subgraphs: int
     rebuilt_vectors: int
     total_vectors: int
-    rebuilt_keys: frozenset = frozenset()
-    dropped_keys: frozenset = frozenset()
-    affected_subgraphs: tuple = ()
+    rebuilt_keys: frozenset[Any] = frozenset()
+    dropped_keys: frozenset[Any] = frozenset()
+    affected_subgraphs: tuple[Any, ...] = ()
 
     @property
     def rebuild_fraction(self) -> float:
@@ -122,7 +124,7 @@ def _rebuild(
     subgraphs: list[SubgraphNode],
     affected_ids: list[int],
     promoted: int | None,
-    dropped_keys: set[tuple],
+    dropped_keys: set[tuple[Any, ...]],
 ) -> tuple[HGPAIndex, UpdateStats]:
     """Assemble the new index, recomputing only affected subgraphs."""
     hierarchy = PartitionHierarchy(new_graph, subgraphs, old.hierarchy.fanout)
@@ -153,8 +155,8 @@ def _rebuild(
     # moving levels never had a leaf vector), and phantom keys would send
     # the distributed runtimes' targeted re-deploy after vectors no
     # machine ever owned.
-    present: set[tuple] = set()
-    for kind, key in dropped_keys:
+    present: set[tuple[Any, ...]] = set()
+    for kind, key in sorted(dropped_keys):
         store = {
             "hub": index.hub_partials,
             "skel": index.skeleton_cols,
@@ -164,7 +166,7 @@ def _rebuild(
             present.add((kind, key))
         index.build_cost.pop((kind, key), None)
     # Recompute the affected subgraphs against the new graph.
-    rebuilt_keys: set[tuple] = set()
+    rebuilt_keys: set[tuple[Any, ...]] = set()
     for sid in affected_ids:
         sg = subgraphs[sid]
         if sg.hubs.size:
@@ -215,7 +217,7 @@ def insert_edge(index: HGPAIndex, u: int, v: int) -> tuple[HGPAIndex, UpdateStat
     )
     subgraphs = _clone_subgraphs(index.hierarchy)
     chain_ids = [sg.node_id for sg in index.hierarchy.chain(u)]
-    dropped: set[tuple] = set()
+    dropped: set[tuple[Any, ...]] = set()
     promoted: int | None = None
     # Separator repair: promote u at the shallowest violated level.
     for sid in chain_ids:

@@ -9,6 +9,10 @@ flat concatenated arrays (no pickling, loadable anywhere numpy runs).
 
 from __future__ import annotations
 
+from typing import Any
+
+from collections.abc import Mapping
+
 import os
 
 import numpy as np
@@ -25,7 +29,7 @@ _FORMAT_VERSION = 1
 
 
 def _pack_store(
-    store: dict[int, SparseVec], costs: dict[tuple, float], kind: str
+    store: dict[int, SparseVec], costs: dict[tuple[Any, ...], float], kind: str
 ) -> dict[str, np.ndarray]:
     keys = np.asarray(sorted(store), dtype=np.int64)
     vecs = [store[int(k)] for k in keys]
@@ -45,7 +49,10 @@ def _pack_store(
 
 
 def _unpack_store(
-    data, kind: str, store: dict[int, SparseVec], costs: dict[tuple, float]
+    data: Mapping[str, np.ndarray],
+    kind: str,
+    store: dict[int, SparseVec],
+    costs: dict[tuple[Any, ...], float],
 ) -> None:
     keys = data[f"{kind}_keys"]
     nnzs = data[f"{kind}_nnz"]

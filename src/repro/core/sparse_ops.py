@@ -21,6 +21,10 @@ suite:
 
 from __future__ import annotations
 
+from typing import Any
+
+from collections.abc import Callable
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -295,8 +299,10 @@ def topk_rows_sparse(
 
 
 def sparse_in_batches(
-    query_many_sparse_fn, nodes: np.ndarray, batch: int
-) -> tuple[sp.csr_matrix, list]:
+    query_many_sparse_fn: Callable[[np.ndarray], tuple[sp.csr_matrix, list[Any]]],
+    nodes: np.ndarray,
+    batch: int,
+) -> tuple[sp.csr_matrix, list[Any]]:
     """Evaluate a ``query_many_sparse``-style callable one batch at a
     time, row-stacking the CSR chunks (the sparse ``run_in_batches``)."""
     if nodes.size == 0:

@@ -42,7 +42,9 @@ class SparseVec:
 
     __slots__ = ("idx", "val")
 
-    def __init__(self, idx: np.ndarray, val: np.ndarray, *, _trusted: bool = False):
+    def __init__(
+        self, idx: np.ndarray, val: np.ndarray, *, _trusted: bool = False
+    ) -> None:
         if not _trusted:
             idx = np.asarray(idx, dtype=np.int64)
             val = np.asarray(val, dtype=np.float64)
@@ -98,6 +100,19 @@ class SparseVec:
     def wire_bytes(self) -> int:
         """Serialized size in bytes (communication-cost accounting)."""
         return WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES * self.nnz
+
+    def wire_bytes_at(self, version: int) -> int:
+        """Serialized size under an explicit wire-format version.
+
+        Space accounting must use the version the deployment actually
+        ships (v2 entries are 16 bytes, not 12), so meters and store
+        metrics take the version rather than assuming v1.
+        """
+        if version == 1:
+            return WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES * self.nnz
+        if version == 2:
+            return WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES_V2 * self.nnz
+        raise SerializationError(f"unknown wire version {version!r}")
 
     def get(self, i: int) -> float:
         """Value at index ``i`` (0.0 when absent)."""

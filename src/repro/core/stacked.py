@@ -17,6 +17,8 @@ buffers, which is what keeps them unit-testable in-process.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -31,12 +33,18 @@ __all__ = [
 ]
 
 
-def matrix_arrays(mat) -> dict[str, np.ndarray]:
+def matrix_arrays(mat: sp.spmatrix) -> dict[str, np.ndarray]:
     """The three flat buffers of a CSC/CSR matrix, by canonical name."""
     return {"data": mat.data, "indices": mat.indices, "indptr": mat.indptr}
 
 
-def _from_arrays(cls, data, indices, indptr, shape):
+def _from_arrays(
+    cls: type[Any],
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: tuple[int, int],
+) -> sp.spmatrix:
     """Rebuild a compressed matrix *around* existing buffers.
 
     The scipy constructors copy (and may downcast) index arrays; going
@@ -55,12 +63,22 @@ def _from_arrays(cls, data, indices, indptr, shape):
     return mat
 
 
-def csc_from_arrays(data, indices, indptr, shape) -> sp.csc_matrix:
+def csc_from_arrays(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: tuple[int, int],
+) -> sp.csc_matrix:
     """Zero-copy CSC over existing (possibly read-only) buffers."""
     return _from_arrays(sp.csc_matrix, data, indices, indptr, shape)
 
 
-def csr_from_arrays(data, indices, indptr, shape) -> sp.csr_matrix:
+def csr_from_arrays(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: tuple[int, int],
+) -> sp.csr_matrix:
     """Zero-copy CSR over existing (possibly read-only) buffers."""
     return _from_arrays(sp.csr_matrix, data, indices, indptr, shape)
 

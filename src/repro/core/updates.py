@@ -49,7 +49,10 @@ mirrors the hierarchical one: ``u`` is promoted into the hub set.
 
 from __future__ import annotations
 
+from typing import Any
+
 import dataclasses
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -97,7 +100,7 @@ class EdgeUpdate:
     u: int
     v: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in (INSERT, DELETE):
             raise UpdateError(
                 f"unknown update op {self.op!r} (expected {INSERT!r} or {DELETE!r})"
@@ -126,15 +129,15 @@ class EdgeUpdate:
 class UpdateBatch:
     """An ordered sequence of :class:`EdgeUpdate`\\ s applied atomically."""
 
-    updates: tuple
+    updates: tuple[EdgeUpdate, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "updates", tuple(self.updates))
         for upd in self.updates:
             if not isinstance(upd, EdgeUpdate):
                 raise UpdateError(f"UpdateBatch holds EdgeUpdates, got {upd!r}")
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[EdgeUpdate]:
         return iter(self.updates)
 
     def __len__(self) -> int:
@@ -158,7 +161,7 @@ class UpdateReceipt:
     affected_sources: np.ndarray
     stats: UpdateStats
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         arr = np.asarray(self.affected_sources, dtype=np.int64)
         arr.flags.writeable = False
         object.__setattr__(self, "affected_sources", arr)
@@ -178,7 +181,7 @@ class UpdateReceipt:
 def _closure(
     indptr: np.ndarray,
     indices: np.ndarray,
-    seeds,
+    seeds: Iterable[int] | np.ndarray,
     through: np.ndarray | None = None,
 ) -> np.ndarray:
     """Nodes reachable from ``seeds`` along the given adjacency.
@@ -315,7 +318,7 @@ def _flat_update(
     stale_skels = forward[hub_mask[forward]]
     stale_parts = blocked[~hub_mask[blocked]]
 
-    overrides: dict = dict(
+    overrides: dict[Any, Any] = dict(
         graph=new_graph,
         hubs=new_hubs,
         hub_partials=dict(index.hub_partials),
@@ -328,7 +331,7 @@ def _flat_update(
         overrides["partition"] = new_partition
     new_index = dataclasses.replace(index, **overrides)
 
-    dropped: set[tuple] = set()
+    dropped: set[tuple[Any, ...]] = set()
     if promoted is not None:
         new_index.node_partials.pop(u, None)
         new_index.build_cost.pop(("part", u), None)
@@ -340,7 +343,7 @@ def _flat_update(
     view = full_view(new_graph)
     new_index._build_hub_partials(view, stale_hub_partials, DEFAULT_BATCH)
     new_index._build_hub_skeletons(view, stale_skels, DEFAULT_BATCH)
-    rebuilt: set[tuple] = {("hub", int(h)) for h in stale_hub_partials.tolist()}
+    rebuilt: set[tuple[Any, ...]] = {("hub", int(h)) for h in stale_hub_partials.tolist()}
     rebuilt |= {("skel", int(h)) for h in stale_skels.tolist()}
 
     if stale_parts.size:
@@ -400,7 +403,9 @@ def delete_edge_flat(
 # ----------------------------------------------------------------------
 # The uniform entry point.
 # ----------------------------------------------------------------------
-def apply_edge_update(index, update: EdgeUpdate):
+def apply_edge_update(
+    index: HGPAIndex | FlatPPVIndex, update: EdgeUpdate
+) -> tuple[HGPAIndex | FlatPPVIndex, UpdateReceipt]:
     """Apply one :class:`EdgeUpdate` to any mutable index, functionally.
 
     Returns ``(new_index, receipt)``; the old index stays valid for the
@@ -436,13 +441,16 @@ def apply_edge_update(index, update: EdgeUpdate):
     return new_index, receipt
 
 
-def apply_update_batch(index, batch):
+def apply_update_batch(
+    index: HGPAIndex | FlatPPVIndex,
+    batch: UpdateBatch | Iterable[EdgeUpdate],
+) -> tuple[HGPAIndex | FlatPPVIndex, list[UpdateReceipt]]:
     """Apply an :class:`UpdateBatch` (or iterable of updates) in order.
 
     Returns ``(new_index, receipts)`` — one receipt per update, in
     application order.
     """
-    receipts = []
+    receipts: list[UpdateReceipt] = []
     for update in batch:
         index, receipt = apply_edge_update(index, update)
         receipts.append(receipt)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -83,7 +84,10 @@ class ClusterBase:
     def init_cluster(self, num_machines: int) -> None:
         if num_machines < 1:
             raise ClusterError("need at least one machine")
-        self.machines = [Machine(machine_id=i) for i in range(num_machines)]
+        self.machines = [
+            Machine(machine_id=i, wire_version=self.wire_version)
+            for i in range(num_machines)
+        ]
         self.coordinator = Coordinator(num_nodes=self.num_nodes)
 
     # ----- execution seam ----------------------------------------------
@@ -301,7 +305,7 @@ class ClusterBase:
         self,
         nodes: np.ndarray,
         machine_accs: dict[int, sp.csc_matrix],
-        col_of,
+        col_of: Callable[[int], int],
         walls: dict[int, float],
         entries: np.ndarray | None,
         collect_stats: bool,

@@ -20,6 +20,7 @@ pay the ~2x resident memory of the stacked copies.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,6 +40,7 @@ from repro.core.updates import (
     apply_edge_update,
 )
 from repro.distributed.cluster import ClusterBase, QueryReport
+from repro.distributed.machine import Machine
 from repro.distributed.machine_tasks import (
     GPAMachineBuilder,
     GPAMachineTask,
@@ -62,7 +64,7 @@ class DistributedGPA(ClusterBase):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend: ExecutionBackend | None = None,
         wire_version: int = 1,
-    ):
+    ) -> None:
         super().__init__(
             num_nodes=index.graph.num_nodes,
             cost_model=cost_model,
@@ -151,7 +153,7 @@ class DistributedGPA(ClusterBase):
             self._exec_keys[mid] = key
         return key
 
-    def _machine_builder(self, mid: int):
+    def _machine_builder(self, mid: int) -> Callable[[], GPAMachineTask]:
         """A state builder for machine ``mid``'s batch share.
 
         Serial backends get a closure over the runtime's live ops and
@@ -184,7 +186,9 @@ class DistributedGPA(ClusterBase):
         return GPAMachineBuilder(descriptor, self.index.alpha, self.num_nodes)
 
     # ------------------------------------------------------------------
-    def _add_own_vector(self, machine, u: int, u_is_hub: bool, acc) -> None:
+    def _add_own_vector(
+        self, machine: Machine, u: int, u_is_hub: bool, acc: np.ndarray
+    ) -> None:
         """The query node's own partial vector, on its owning machine."""
         if u_is_hub:
             if self._hub_owner[u] == machine.machine_id:
@@ -221,7 +225,7 @@ class DistributedGPA(ClusterBase):
         return self._finish_query(u, partials, walls)
 
     def query_many(
-        self, nodes, *, collect_stats: bool = True
+        self, nodes: np.ndarray, *, collect_stats: bool = True
     ) -> tuple[np.ndarray, list[QueryReport]]:
         """Batched distributed PPVs: one sparse matmul per machine.
 
@@ -284,7 +288,7 @@ class DistributedGPA(ClusterBase):
         return out, reports
 
     def query_many_sparse(
-        self, nodes, *, collect_stats: bool = True
+        self, nodes: np.ndarray, *, collect_stats: bool = True
     ) -> tuple[sp.csr_matrix, list[QueryReport]]:
         """Batched distributed PPVs as a CSR ``(len(nodes), n)`` matrix.
 
@@ -393,7 +397,7 @@ class DistributedGPA(ClusterBase):
             touched.add(mid)
         for mid in sorted(touched):
             meter.record("coordinator", f"machine-{mid}", UPDATE_WIRE_BYTES)
-        for mid in invalidate:
+        for mid in sorted(invalidate):
             self._machine_ops.pop(mid, None)
         self.index = new_index
         self.epoch += 1

@@ -27,6 +27,7 @@ coordinates, and the owner of hub ``ĥ`` contributes the skeleton value
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -68,7 +69,7 @@ class _LiveLevelOps:
 
     __slots__ = ("_runtime", "_mid")
 
-    def __init__(self, runtime: "DistributedHGPA", mid: int):
+    def __init__(self, runtime: "DistributedHGPA", mid: int) -> None:
         self._runtime = runtime
         self._mid = mid
 
@@ -87,7 +88,7 @@ class DistributedHGPA(ClusterBase):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend: ExecutionBackend | None = None,
         wire_version: int = 1,
-    ):
+    ) -> None:
         super().__init__(
             num_nodes=index.graph.num_nodes,
             cost_model=cost_model,
@@ -170,7 +171,7 @@ class DistributedHGPA(ClusterBase):
             self._exec_keys[mid] = key
         return key
 
-    def _machine_builder(self, mid: int):
+    def _machine_builder(self, mid: int) -> Callable[[], HGPAMachineTask]:
         """A state builder for machine ``mid``'s batch share.
 
         Serial backends get a closure whose level-ops mapping delegates
@@ -266,7 +267,7 @@ class DistributedHGPA(ClusterBase):
         return self._finish_query(u, partials, walls)
 
     def query_many(
-        self, nodes, *, collect_stats: bool = True
+        self, nodes: np.ndarray, *, collect_stats: bool = True
     ) -> tuple[np.ndarray, list[QueryReport]]:
         """Batched distributed PPVs: one sparse matmul per machine level.
 
@@ -337,7 +338,7 @@ class DistributedHGPA(ClusterBase):
         return out, reports
 
     def query_many_sparse(
-        self, nodes, *, collect_stats: bool = True
+        self, nodes: np.ndarray, *, collect_stats: bool = True
     ) -> tuple[sp.csr_matrix, list[QueryReport]]:
         """Batched distributed PPVs as a CSR ``(len(nodes), n)`` matrix.
 

@@ -30,6 +30,7 @@ class Machine:
     offline_seconds: float = 0.0
     query_entries: int = 0
     query_seconds: float = 0.0
+    wire_version: int = 1
 
     def put(self, key: StoreKey, vec: SparseVec, *, build_seconds: float = 0.0) -> None:
         """Install a pre-computed vector (accounted to offline time)."""
@@ -75,8 +76,16 @@ class Machine:
     # ------------------------------------------------------------------
     @property
     def stored_bytes(self) -> int:
-        """Wire bytes of everything on this machine (the space metric)."""
-        return sum(v.wire_bytes for v in self.store.values())
+        """Wire bytes of everything on this machine (the space metric).
+
+        Deliberately meter-free: this is the paper's *storage* metric,
+        not query-path traffic, so nothing is charged to a NetworkMeter.
+        Sizes follow the deployment's wire version (v2 entries are
+        wider), keeping the space metric honest for int64-id clusters.
+        """
+        return sum(
+            v.wire_bytes_at(self.wire_version) for v in self.store.values()
+        )
 
     @property
     def stored_vectors(self) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -60,14 +61,23 @@ class GPAMachineTask:
 
     __slots__ = ("alpha", "num_nodes", "all_hubs", "ops", "store")
 
-    def __init__(self, alpha, num_nodes, all_hubs, ops, store):
+    def __init__(
+        self,
+        alpha: float,
+        num_nodes: int,
+        all_hubs: np.ndarray,
+        ops: tuple,
+        store: Any,
+    ) -> None:
         self.alpha = alpha
         self.num_nodes = int(num_nodes)
         self.all_hubs = all_hubs
         self.ops = ops  # (owned, part_csc, skel_csr, nnz_per_hub)
         self.store = store
 
-    def dense(self, nodes: np.ndarray, collect_stats: bool):
+    def dense(
+        self, nodes: np.ndarray, collect_stats: bool
+    ) -> tuple[np.ndarray, np.ndarray, float]:
         owned, part_csc, skel_csr, nnz_per_hub = self.ops
         hub_flags = np.zeros(nodes.size, dtype=bool)
         hub_flags[find_sorted(self.all_hubs, nodes)[0]] = True
@@ -96,7 +106,9 @@ class GPAMachineTask:
                 entries[k] += own.nnz
         return acc, entries, time.perf_counter() - t0
 
-    def sparse(self, nodes: np.ndarray, collect_stats: bool):
+    def sparse(
+        self, nodes: np.ndarray, collect_stats: bool
+    ) -> tuple[sp.csc_matrix, np.ndarray, float]:
         owned, part_csc, skel_csr, nnz_per_hub = self.ops
         hub_flags = np.zeros(nodes.size, dtype=bool)
         hub_flags[find_sorted(self.all_hubs, nodes)[0]] = True
@@ -144,7 +156,14 @@ class HGPAMachineTask:
 
     __slots__ = ("alpha", "num_nodes", "hierarchy", "level_ops", "store")
 
-    def __init__(self, alpha, num_nodes, hierarchy, level_ops, store):
+    def __init__(
+        self,
+        alpha: float,
+        num_nodes: int,
+        hierarchy: Any,
+        level_ops: Any,
+        store: Any,
+    ) -> None:
         self.alpha = alpha
         self.num_nodes = int(num_nodes)
         self.hierarchy = hierarchy
@@ -152,7 +171,9 @@ class HGPAMachineTask:
         self.level_ops = level_ops
         self.store = store
 
-    def dense(self, nodes: np.ndarray, collect_stats: bool):
+    def dense(
+        self, nodes: np.ndarray, collect_stats: bool
+    ) -> tuple[np.ndarray, np.ndarray, float]:
         alpha = self.alpha
         order, members, hub_flags, _ = _chain_membership(self.hierarchy, nodes)
         ordered = nodes[order]
@@ -201,7 +222,9 @@ class HGPAMachineTask:
                 entries[k] += own.nnz
         return acc, entries, time.perf_counter() - t0
 
-    def sparse(self, nodes: np.ndarray, collect_stats: bool):
+    def sparse(
+        self, nodes: np.ndarray, collect_stats: bool
+    ) -> tuple[sp.csc_matrix, np.ndarray, float]:
         alpha = self.alpha
         n = self.num_nodes
         order, members, hub_flags, depth_of = _chain_membership(
@@ -288,7 +311,7 @@ class HGPAMachineTask:
 # Shared-memory publication + picklable worker-side builders
 
 
-def _hub_store_entries(owned: np.ndarray, part_csc) -> dict:
+def _hub_store_entries(owned: np.ndarray, part_csc: sp.csc_matrix) -> dict:
     """``("hub", h)`` store entries as slices of the stacked CSC buffers
     — the worker-side twin of ``ClusterBase._stack_ops``'s rebinding."""
     pp = part_csc.indptr

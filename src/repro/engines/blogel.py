@@ -40,7 +40,7 @@ class BlogelPPR:
         alpha: float = 0.15,
         partition_seed: int = 0,
         cost_model: CostModel = DEFAULT_COST_MODEL,
-    ):
+    ) -> None:
         self.graph = graph
         self.num_machines = num_machines
         self.alpha = alpha

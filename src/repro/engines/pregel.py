@@ -43,7 +43,7 @@ class PregelPPR:
         alpha: float = 0.15,
         combiner: bool = True,
         cost_model: CostModel = DEFAULT_COST_MODEL,
-    ):
+    ) -> None:
         self.graph = graph
         self.num_machines = num_machines
         self.alpha = alpha

@@ -56,6 +56,11 @@ class WorkerDied(ExecutionError):
     with replicas (the sharding layer) treat it as a failover signal."""
 
 
+class AnalysisError(ReproError):
+    """Raised by the static-analysis tool for invalid rule selections or
+    malformed baseline files."""
+
+
 class ServingError(ReproError):
     """Raised for invalid serving-layer configurations or requests."""
 

@@ -32,9 +32,16 @@ import multiprocessing as mp
 import os
 import traceback
 from collections import deque
+from collections.abc import Callable, Hashable
+from typing import TYPE_CHECKING, Any, Self
+
+import numpy as np
 
 from repro.errors import ExecutionError, WorkerDied
 from repro.exec.shm import ArenaDescriptor, ShmArena
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
 
 __all__ = ["ExecutionBackend", "SerialBackend", "ProcessPoolBackend"]
 
@@ -49,19 +56,23 @@ class ExecutionBackend:
 
     is_local = True
 
-    def register(self, key, builder) -> None:
+    def register(self, key: Hashable, builder: Callable[[], Any]) -> None:
         raise NotImplementedError
 
-    def unregister(self, key) -> None:
+    def unregister(self, key: Hashable) -> None:
         raise NotImplementedError
 
-    def submit(self, key, method: str, *args):
+    def submit(self, key: Hashable, method: str, *args: Any) -> Any:
         raise NotImplementedError
 
-    def create_arena(self, arrays) -> ArenaDescriptor:
+    def create_arena(self, arrays: dict[str, np.ndarray]) -> ArenaDescriptor:
         raise NotImplementedError
 
-    def memo_arena(self, memo_key, arrays_fn) -> ArenaDescriptor:
+    def memo_arena(
+        self,
+        memo_key: Hashable,
+        arrays_fn: Callable[[], dict[str, np.ndarray]],
+    ) -> ArenaDescriptor:
         raise NotImplementedError
 
     def drop_arena(self, descriptor: ArenaDescriptor) -> None:
@@ -70,10 +81,10 @@ class ExecutionBackend:
     def close(self) -> None:
         raise NotImplementedError
 
-    def __enter__(self):
+    def __enter__(self) -> Self:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -82,10 +93,10 @@ class _ReadyFuture:
 
     __slots__ = ("_value",)
 
-    def __init__(self, value):
+    def __init__(self, value: Any) -> None:
         self._value = value
 
-    def result(self):
+    def result(self) -> Any:
         return self._value
 
 
@@ -100,20 +111,20 @@ class SerialBackend(ExecutionBackend):
 
     is_local = True
 
-    def __init__(self):
-        self._builders: dict = {}
-        self._states: dict = {}
+    def __init__(self) -> None:
+        self._builders: dict[Any, Any] = {}
+        self._states: dict[Any, Any] = {}
 
-    def register(self, key, builder) -> None:
+    def register(self, key: Hashable, builder: Callable[[], Any]) -> None:
         if key in self._builders:
             raise ExecutionError(f"duplicate registration for key {key!r}")
         self._builders[key] = builder
 
-    def unregister(self, key) -> None:
+    def unregister(self, key: Hashable) -> None:
         self._builders.pop(key, None)
         self._states.pop(key, None)
 
-    def submit(self, key, method: str, *args) -> _ReadyFuture:
+    def submit(self, key: Hashable, method: str, *args: Any) -> _ReadyFuture:
         state = self._states.get(key)
         if state is None:
             builder = self._builders.get(key)
@@ -137,18 +148,18 @@ class _Lazy:
 
     __slots__ = ("builder", "state")
 
-    def __init__(self, builder):
+    def __init__(self, builder: Callable[[], Any]) -> None:
         self.builder = builder
-        self.state = None
+        self.state: Any = None
 
-    def get(self):
+    def get(self) -> Any:
         if self.state is None:
             self.state = self.builder()
         return self.state
 
 
-def _worker_main(conn) -> None:
-    states: dict = {}
+def _worker_main(conn: Connection) -> None:
+    states: dict[Any, Any] = {}
     while True:
         try:
             msg = conn.recv()
@@ -186,14 +197,14 @@ def _worker_main(conn) -> None:
 class _ProcFuture:
     __slots__ = ("_worker", "task_id", "done", "value", "error")
 
-    def __init__(self, worker, task_id):
+    def __init__(self, worker: "_Worker", task_id: int) -> None:
         self._worker = worker
         self.task_id = task_id
         self.done = False
         self.value = None
         self.error = None
 
-    def result(self):
+    def result(self) -> Any:
         while not self.done:
             self._worker.pump()
         if self.error is not None:
@@ -204,7 +215,7 @@ class _ProcFuture:
 class _Worker:
     """One worker process plus its command pipe and FIFO of futures."""
 
-    def __init__(self, ctx, index: int, timeout: float):
+    def __init__(self, ctx: Any, index: int, timeout: float) -> None:
         self.index = index
         self.timeout = timeout
         self.conn, child_conn = ctx.Pipe(duplex=True)
@@ -216,7 +227,7 @@ class _Worker:
         self.pending: deque[_ProcFuture] = deque()
         self.alive = True
 
-    def send(self, msg) -> None:
+    def send(self, msg: tuple[Any, ...]) -> None:
         if not self.alive:
             raise WorkerDied(f"worker {self.index} is dead")
         try:
@@ -291,7 +302,7 @@ class ProcessPoolBackend(ExecutionBackend):
         *,
         mp_context: str | None = None,
         timeout: float = 120.0,
-    ):
+    ) -> None:
         if num_workers < 1:
             raise ExecutionError("need at least one worker")
         if mp_context is None:
@@ -302,15 +313,15 @@ class ProcessPoolBackend(ExecutionBackend):
         self._workers = [
             _Worker(ctx, i, timeout) for i in range(self.num_workers)
         ]
-        self._assignment: dict = {}
+        self._assignment: dict[Any, Any] = {}
         self._rr = 0
         self._tasks = itertools.count()
         self._arenas: dict[str, ShmArena] = {}
-        self._memo: dict = {}
+        self._memo: dict[Any, Any] = {}
         self._closed = False
 
     # ----- state registry ----------------------------------------------
-    def register(self, key, builder) -> None:
+    def register(self, key: Hashable, builder: Callable[[], Any]) -> None:
         if key in self._assignment:
             raise ExecutionError(f"duplicate registration for key {key!r}")
         worker = self._workers[self._rr % self.num_workers]
@@ -324,7 +335,7 @@ class ProcessPoolBackend(ExecutionBackend):
             del self._assignment[key]
             raise
 
-    def unregister(self, key) -> None:
+    def unregister(self, key: Hashable) -> None:
         worker = self._assignment.pop(key, None)
         if worker is not None and worker.alive:
             try:
@@ -332,7 +343,7 @@ class ProcessPoolBackend(ExecutionBackend):
             except WorkerDied:
                 pass
 
-    def submit(self, key, method: str, *args) -> _ProcFuture:
+    def submit(self, key: Hashable, method: str, *args: Any) -> _ProcFuture:
         worker = self._assignment.get(key)
         if worker is None:
             raise ExecutionError(f"no state registered for key {key!r}")
@@ -342,13 +353,17 @@ class ProcessPoolBackend(ExecutionBackend):
         return fut
 
     # ----- arena ownership ---------------------------------------------
-    def create_arena(self, arrays) -> ArenaDescriptor:
+    def create_arena(self, arrays: dict[str, np.ndarray]) -> ArenaDescriptor:
         """Publish named arrays in a new backend-owned arena."""
         arena = ShmArena(arrays)
         self._arenas[arena.descriptor.shm_name] = arena
         return arena.descriptor
 
-    def memo_arena(self, memo_key, arrays_fn) -> ArenaDescriptor:
+    def memo_arena(
+        self,
+        memo_key: Hashable,
+        arrays_fn: Callable[[], dict[str, np.ndarray]],
+    ) -> ArenaDescriptor:
         """Publish once per ``memo_key`` (e.g. per shared engine object)."""
         descriptor = self._memo.get(memo_key)
         if descriptor is None:
@@ -368,13 +383,13 @@ class ProcessPoolBackend(ExecutionBackend):
         self._closed = True
         for worker in self._workers:
             worker.shutdown(grace=5.0)
-        for arena in self._arenas.values():
-            arena.close()
+        for name in sorted(self._arenas):
+            self._arenas[name].close()
         self._arenas.clear()
         self._memo.clear()
         self._assignment.clear()
 
-    def __del__(self):  # pragma: no cover - safety net, tests use close()
+    def __del__(self) -> None:  # pragma: no cover - safety net, tests use close()
         try:
             self.close()
         except Exception:

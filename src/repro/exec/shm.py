@@ -17,6 +17,8 @@ lets the test suite assert that no segment outlives its backend.
 
 from __future__ import annotations
 
+from typing import Any
+
 import itertools
 import os
 from dataclasses import dataclass
@@ -48,7 +50,7 @@ class ArraySpec:
 
     name: str
     dtype: str
-    shape: tuple
+    shape: tuple[Any, ...]
     offset: int
 
     @property
@@ -143,7 +145,7 @@ class ArenaView:
     owning arena unlinks, so nothing is unregistered there.
     """
 
-    def __init__(self, descriptor: ArenaDescriptor):
+    def __init__(self, descriptor: ArenaDescriptor) -> None:
         # An inherited tracker (a multiprocessing child: fd handed over,
         # pid never set spawn-side) is the creator's tracker — its single
         # registration must survive, so never unregister through it.
@@ -175,11 +177,16 @@ class ShmArena:
     the name disappears, which is what the leak-check fixture asserts.
     """
 
-    def __init__(self, arrays: dict[str, np.ndarray]):
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        # Sorted by array name so the segment layout is a pure function
+        # of the published arrays, not of dict construction order.
+        ordered = [
+            (name, np.ascontiguousarray(arr))
+            for name, arr in sorted(arrays.items())
+        ]
         specs: list[ArraySpec] = []
         offset = 0
-        for name, arr in arrays.items():
-            arr = np.ascontiguousarray(arr)
+        for name, arr in ordered:
             offset = -(-offset // _ALIGN) * _ALIGN  # round up
             specs.append(
                 ArraySpec(name, arr.dtype.str, tuple(arr.shape), offset)
@@ -189,8 +196,7 @@ class ShmArena:
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(offset, 1), name=name
         )
-        for spec, arr in zip(specs, arrays.values()):
-            arr = np.ascontiguousarray(arr)
+        for spec, (_, arr) in zip(specs, ordered):
             dst = np.frombuffer(
                 self._shm.buf,
                 dtype=arr.dtype,
@@ -220,11 +226,11 @@ class ShmArena:
     def __enter__(self) -> "ShmArena":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-def stacked_ops_arrays(ops: tuple, prefix: str = "") -> dict[str, np.ndarray]:
+def stacked_ops_arrays(ops: tuple[Any, ...], prefix: str = "") -> dict[str, np.ndarray]:
     """Flatten one stacked query-op tuple into named arena arrays.
 
     The inverse lives in :class:`SharedStackedOps`; ``prefix`` namespaces
@@ -256,37 +262,39 @@ class SharedStackedOps:
 
     __slots__ = ("descriptor", "prefix", "num_nodes", "_ops")
 
-    def __init__(self, descriptor: ArenaDescriptor, prefix: str, num_nodes: int):
+    def __init__(
+        self, descriptor: ArenaDescriptor, prefix: str, num_nodes: int
+    ) -> None:
         self.descriptor = descriptor
         self.prefix = prefix
         self.num_nodes = int(num_nodes)
-        self._ops: tuple | None = None
+        self._ops: tuple[Any, ...] | None = None
 
     @classmethod
-    def publish(cls, ops: tuple, num_nodes: int) -> tuple[ShmArena, "SharedStackedOps"]:
+    def publish(cls, ops: tuple[Any, ...], num_nodes: int) -> tuple[ShmArena, "SharedStackedOps"]:
         """Publish one ops tuple in its own arena (owner keeps the arena)."""
         arena = ShmArena(stacked_ops_arrays(ops))
         return arena, cls(arena.descriptor, "", num_nodes)
 
     @property
-    def ops(self) -> tuple:
+    def ops(self) -> tuple[Any, ...]:
         if self._ops is None:
             self._ops = build_ops_from_view(
                 self.descriptor.attach(), self.prefix, self.num_nodes
             )
         return self._ops
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[Any, ...]:
         return (self.descriptor, self.prefix, self.num_nodes)
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: tuple[Any, ...]) -> None:
         self.descriptor, self.prefix, self.num_nodes = state
         self._ops = None
 
 
 def build_ops_from_view(
     view: ArenaView, prefix: str, num_nodes: int
-) -> tuple:
+) -> tuple[Any, ...]:
     """Rebuild one stacked ops tuple from an attached arena."""
     try:
         a = {

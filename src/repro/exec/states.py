@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.flat_index import FlatPPVIndex
 from repro.core.hgpa import HGPAIndex
@@ -33,6 +35,9 @@ from repro.exec.shm import (
     build_ops_from_view,
     stacked_ops_arrays,
 )
+
+if TYPE_CHECKING:
+    from repro.exec.shm import ArenaView
 
 __all__ = [
     "EngineHost",
@@ -49,7 +54,7 @@ class _GraphHandle:
 
     __slots__ = ("num_nodes",)
 
-    def __init__(self, num_nodes: int):
+    def __init__(self, num_nodes: int) -> None:
         self.num_nodes = int(num_nodes)
 
 
@@ -64,13 +69,18 @@ class _HierarchyHandle:
 
     __slots__ = ("subgraphs", "hub_level", "deepest_subgraph")
 
-    def __init__(self, subgraphs, hub_level, deepest_subgraph):
+    def __init__(
+        self,
+        subgraphs: list[Any],
+        hub_level: np.ndarray,
+        deepest_subgraph: np.ndarray,
+    ) -> None:
         self.subgraphs = subgraphs
         self.hub_level = hub_level
         self.deepest_subgraph = deepest_subgraph
 
     @classmethod
-    def from_hierarchy(cls, hierarchy) -> "_HierarchyHandle":
+    def from_hierarchy(cls, hierarchy: Any) -> "_HierarchyHandle":
         return cls(
             hierarchy.subgraphs,
             hierarchy.hub_level,
@@ -80,7 +90,7 @@ class _HierarchyHandle:
     def is_hub(self, u: int) -> bool:
         return bool(self.hub_level[u] >= 0)
 
-    def chain(self, u: int) -> list:
+    def chain(self, u: int) -> list[Any]:
         sid = int(self.deepest_subgraph[u])
         if sid < 0:  # pragma: no cover - deploy-validated hierarchies
             raise PartitionError(f"node {u} missing from hierarchy tables")
@@ -105,21 +115,23 @@ class EngineHost:
 
     __slots__ = ("index",)
 
-    def __init__(self, index):
+    def __init__(self, index: Any) -> None:
         self.index = index
 
-    def dense(self, nodes: np.ndarray):
+    def dense(self, nodes: np.ndarray) -> tuple[np.ndarray, float]:
         t0 = time.perf_counter()
         out, _ = self.index.query_many(nodes, collect_stats=False)
         return out, time.perf_counter() - t0
 
-    def sparse(self, nodes: np.ndarray):
+    def sparse(self, nodes: np.ndarray) -> tuple[sp.csr_matrix, float]:
         t0 = time.perf_counter()
         mat, _ = self.index.query_many_sparse(nodes, collect_stats=False)
         return mat, time.perf_counter() - t0
 
 
-def _hub_store_from_csc(owned: np.ndarray, part_csc) -> dict[int, SparseVec]:
+def _hub_store_from_csc(
+    owned: np.ndarray, part_csc: sp.csc_matrix
+) -> dict[int, SparseVec]:
     """Rebind hub partial vectors as slices of the stacked CSC's buffers —
     the worker-side twin of ``ClusterBase._stack_ops``'s rebinding, so
     the store costs no memory beyond the shared segment."""
@@ -134,7 +146,7 @@ def _hub_store_from_csc(owned: np.ndarray, part_csc) -> dict[int, SparseVec]:
     }
 
 
-def _packed_store(view, prefix: str) -> dict[int, SparseVec]:
+def _packed_store(view: "ArenaView", prefix: str) -> dict[int, SparseVec]:
     """Unpack a ``pack_vectors``-published id→vector store from an arena."""
     nodes = view.arrays[prefix + "nodes"]
     vecs = unpack_vectors(
@@ -145,7 +157,7 @@ def _packed_store(view, prefix: str) -> dict[int, SparseVec]:
     return {int(u): v for u, v in zip(nodes.tolist(), vecs)}
 
 
-def _pack_store_arrays(store: dict[int, SparseVec], prefix: str) -> dict:
+def _pack_store_arrays(store: dict[int, SparseVec], prefix: str) -> dict[Any, Any]:
     """The inverse of :func:`_packed_store`: one id→vector store as flat
     arena arrays (ids sorted, so the layout is deterministic)."""
     nodes = np.asarray(sorted(store), dtype=np.int64)
@@ -162,7 +174,7 @@ def _pack_store_arrays(store: dict[int, SparseVec], prefix: str) -> dict:
 # Flat hub-set engines (FlatPPVIndex and subclasses: GPA, JW)
 
 
-def flat_engine_arrays(index: FlatPPVIndex) -> dict:
+def flat_engine_arrays(index: FlatPPVIndex) -> dict[Any, Any]:
     """Arena arrays of one flat index: stacked ops + node-partial store."""
     part_csc, skel_csr, nnz_per_hub = index._ops()
     arrays = stacked_ops_arrays((index.hubs, part_csc, skel_csr, nnz_per_hub))
@@ -203,10 +215,10 @@ class FlatEngineBuilder:
 # HGPA engines
 
 
-def hgpa_engine_arrays(index: HGPAIndex) -> dict:
+def hgpa_engine_arrays(index: HGPAIndex) -> dict[Any, Any]:
     """Arena arrays of one HGPA index: per-level stacked ops (prefix
     ``s<sid>:``) + the leaf-PPV store."""
-    arrays: dict = {}
+    arrays: dict[Any, Any] = {}
     for sg in index.hierarchy.subgraphs:
         if sg.hubs.size == 0:
             continue
@@ -259,7 +271,7 @@ class HGPAEngineBuilder:
 # ----------------------------------------------------------------------
 
 
-def engine_builder(query_backend, exec_backend):
+def engine_builder(query_backend: Any, exec_backend: Any) -> Any:
     """A picklable worker-state builder for a replica's engine, or ``None``.
 
     ``None`` means the engine has no shared-memory layout the workers

@@ -93,7 +93,9 @@ class DiGraph:
         "name",
     )
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, name: str = ""):
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, *, name: str = ""
+    ) -> None:
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         if indptr.ndim != 1 or indptr.size < 1:

@@ -49,7 +49,7 @@ class VirtualSubgraph:
         "_transition",
     )
 
-    def __init__(self, graph: DiGraph, nodes: Sequence[int] | np.ndarray):
+    def __init__(self, graph: DiGraph, nodes: Sequence[int] | np.ndarray) -> None:
         nodes = np.unique(np.asarray(nodes, dtype=np.int64))
         if nodes.size and (nodes[0] < 0 or nodes[-1] >= graph.num_nodes):
             raise GraphError("VirtualSubgraph: node ids out of range")

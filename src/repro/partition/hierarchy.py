@@ -70,7 +70,7 @@ class PartitionHierarchy:
         for non-hubs, the internal subgraph whose hub set holds it for hubs.
     """
 
-    def __init__(self, graph: DiGraph, subgraphs: list[SubgraphNode], fanout: int):
+    def __init__(self, graph: DiGraph, subgraphs: list[SubgraphNode], fanout: int) -> None:
         self.graph = graph
         self.subgraphs = subgraphs
         self.fanout = fanout

@@ -51,7 +51,7 @@ class CoarseLevel:
 
     __slots__ = ("ugraph", "coarse_of")
 
-    def __init__(self, ugraph: UGraph, coarse_of: np.ndarray):
+    def __init__(self, ugraph: UGraph, coarse_of: np.ndarray) -> None:
         self.ugraph = ugraph
         self.coarse_of = coarse_of
 

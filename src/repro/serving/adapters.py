@@ -18,6 +18,8 @@ runtimes carry ``num_nodes`` themselves and return
 from __future__ import annotations
 
 import inspect
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -37,7 +39,7 @@ from repro.errors import ServingError
 __all__ = ["QueryBackend", "MutableBackend", "as_backend", "as_mutable_backend"]
 
 
-def _accepts_collect_stats(fn) -> bool:
+def _accepts_collect_stats(fn: Callable[..., Any] | None) -> bool:
     """Whether a query callable takes the ``collect_stats`` keyword."""
     if fn is None:
         return False
@@ -81,7 +83,7 @@ class QueryBackend:
 
     epoch = 0
 
-    def __init__(self, engine, num_nodes: int):
+    def __init__(self, engine: Any, num_nodes: int) -> None:
         self.engine = engine
         self.num_nodes = int(num_nodes)
         self._stats_kw = _accepts_collect_stats(
@@ -98,15 +100,21 @@ class QueryBackend:
         return callable(getattr(self.engine, "query_many_sparse", None))
 
     def query_many(
-        self, nodes, *, collect_stats: bool = True
-    ) -> tuple[np.ndarray, list]:
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        *,
+        collect_stats: bool = True,
+    ) -> tuple[np.ndarray, list[Any]]:
         if self._stats_kw:
             return self.engine.query_many(nodes, collect_stats=collect_stats)
         return self.engine.query_many(nodes)
 
     def query_many_sparse(
-        self, nodes, *, collect_stats: bool = True
-    ) -> tuple[sp.csr_matrix, list]:
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        *,
+        collect_stats: bool = True,
+    ) -> tuple[sp.csr_matrix, list[Any]]:
         """Batched PPVs as a CSR matrix (see the class docstring).
 
         Falls back to sparsifying the dense ``query_many`` result when
@@ -122,12 +130,12 @@ class QueryBackend:
 
     def query_many_topk(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         k: int,
         *,
         batch: int = DEFAULT_BATCH,
         threshold: float | None = None,
-    ) -> tuple[np.ndarray, np.ndarray, list]:
+    ) -> tuple[np.ndarray, np.ndarray, list[Any]]:
         native = getattr(self.engine, "query_many_topk", None)
         if native is not None:
             return native(nodes, k, batch=batch, threshold=threshold)
@@ -153,7 +161,7 @@ class MutableBackend(QueryBackend):
     their epoch mirrored.
     """
 
-    def __init__(self, engine, num_nodes: int):
+    def __init__(self, engine: Any, num_nodes: int) -> None:
         super().__init__(engine, num_nodes)
         self._epoch = 0
 
@@ -162,7 +170,9 @@ class MutableBackend(QueryBackend):
         native = getattr(self.engine, "epoch", None)
         return self._epoch if native is None else int(native)
 
-    def apply_update(self, update: EdgeUpdate, *, shared=None) -> UpdateReceipt:
+    def apply_update(
+        self, update: EdgeUpdate, *, shared: dict[Any, Any] | None = None
+    ) -> UpdateReceipt:
         """Apply one update; returns the receipt stamped with this
         backend's epoch.
 
@@ -200,7 +210,7 @@ class MutableBackend(QueryBackend):
         )
 
 
-def as_backend(engine) -> QueryBackend:
+def as_backend(engine: Any) -> QueryBackend:
     """Wrap an index or distributed runtime as a :class:`QueryBackend`.
 
     Accepts anything with a ``query_many``: the centralized indexes
@@ -224,7 +234,7 @@ def as_backend(engine) -> QueryBackend:
     )
 
 
-def as_mutable_backend(engine) -> QueryBackend:
+def as_mutable_backend(engine: Any) -> QueryBackend:
     """Wrap an engine for live updates behind the uniform interface.
 
     Accepts the mutable index families (:class:`FlatPPVIndex` subclasses,

@@ -46,7 +46,7 @@ class FrequencySketch:
         *,
         depth: int = 4,
         reset_interval: int | None = None,
-    ):
+    ) -> None:
         if width < 1:
             raise ServingError(f"sketch width must be >= 1, got {width}")
         if not 1 <= depth <= len(_SEEDS):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,7 @@ from repro.serving.admission import FrequencySketch
 __all__ = ["CacheStats", "PPVCache", "DEFAULT_EVICTION_SAMPLE", "entry_bytes"]
 
 
-def entry_bytes(entry) -> int:
+def entry_bytes(entry: np.ndarray | SparseVec) -> int:
     """Budgeted size of one cache entry: buffer bytes for a dense row,
     wire bytes (true nnz) for a :class:`SparseVec`."""
     if isinstance(entry, SparseVec):
@@ -109,10 +110,10 @@ class PPVCache:
         self,
         max_bytes: int,
         *,
-        weight=None,
+        weight: Callable[[int, np.ndarray | SparseVec], float] | None = None,
         sample: int = DEFAULT_EVICTION_SAMPLE,
         admission: FrequencySketch | str | None = None,
-    ):
+    ) -> None:
         if max_bytes <= 0:
             raise ServingError(f"cache budget must be positive, got {max_bytes}")
         if weight is not None and not callable(weight):
@@ -162,7 +163,7 @@ class PPVCache:
         self.stats.hits += 1
         return arr
 
-    def put(self, u: int, vec) -> bool:
+    def put(self, u: int, vec: np.ndarray | SparseVec) -> bool:
         """Insert the PPV of ``u``; returns False if it can never fit.
 
         ``vec`` is either a dense row or a
@@ -219,7 +220,7 @@ class PPVCache:
             self.stats.evictions += 1
         return True
 
-    def _evict_one(self):
+    def _evict_one(self) -> np.ndarray | SparseVec:
         """Remove and return one entry under the configured policy.
 
         Pure LRU without a ``weight`` hook; with one, the lightest of the
@@ -265,7 +266,7 @@ class PPVCache:
                 victim, victim_w = u, w
         return victim
 
-    def invalidate(self, nodes) -> int:
+    def invalidate(self, nodes: Iterable[int] | np.ndarray) -> int:
         """Drop exactly the given rows (a live update's affected sources).
 
         Returns how many entries were actually present and removed; rows

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import operator
 import time
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.flat_index import DEFAULT_BATCH, topk_rows, validate_batch
 from repro.core.sparse_ops import row_sparsevec, rows_matrix, topk_rows_sparse
@@ -51,7 +54,7 @@ class SystemClock:
 class SimulatedClock:
     """Manually-advanced clock for deterministic batching in tests."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     def now(self) -> float:
@@ -81,7 +84,7 @@ class Ticket:
 
     __slots__ = ("node", "cached", "epoch", "_value")
 
-    def __init__(self, node: int):
+    def __init__(self, node: int) -> None:
         self.node = node
         self.cached = False
         self.epoch: int | None = None
@@ -147,15 +150,15 @@ class PPVService:
 
     def __init__(
         self,
-        engine,
+        engine: Any,
         *,
         window: float = 0.01,
         max_batch: int = DEFAULT_BATCH,
         cache: PPVCache | int | None = None,
-        clock=None,
+        clock: Any = None,
         sparse: bool = False,
         collect_stats: bool = True,
-    ):
+    ) -> None:
         if window < 0:
             raise ServingError(f"window must be >= 0, got {window}")
         if max_batch < 1:
@@ -280,7 +283,7 @@ class PPVService:
             return 0
         return self._flush()
 
-    def _coerce(self, entry):
+    def _coerce(self, entry: np.ndarray | SparseVec) -> np.ndarray | SparseVec:
         """A cache entry in this service's result form (dense or sparse).
 
         Entries are stored in the mode that inserted them; a service of
@@ -374,7 +377,11 @@ class PPVService:
             ids, scores = topk_rows(vec[np.newaxis], k, threshold=threshold)
         return ids[0], scores[0]
 
-    def serve(self, nodes, arrivals=None):
+    def serve(
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        arrivals: Sequence[float] | np.ndarray | None = None,
+    ) -> np.ndarray | sp.csr_matrix:
         """Drive a whole request stream; returns the ``(len, n)`` results
         (dense, or one CSR matrix in sparse mode — same values).
 
@@ -409,7 +416,9 @@ class PPVService:
             return np.zeros((0, self.backend.num_nodes))
         return np.vstack([t.result for t in tickets])
 
-    def replay(self, events) -> list:
+    def replay(
+        self, events: Iterable[tuple[float, object]]
+    ) -> list[Any]:
         """Replay a mixed query/update arrival stream deterministically.
 
         ``events`` is an iterable of ``(arrival_seconds, item)`` pairs in
@@ -425,7 +434,7 @@ class PPVService:
         """
         if not hasattr(self.clock, "advance_to"):
             raise ServingError("replaying arrivals needs a SimulatedClock")
-        outcomes: list = []
+        outcomes: list[Any] = []
         last = None
         for t, item in events:
             t = float(t)

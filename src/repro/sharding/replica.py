@@ -18,6 +18,7 @@ of the partition's precomputed vectors.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -25,13 +26,16 @@ from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.exec.states import engine_builder
 from repro.serving.adapters import MutableBackend, as_backend, as_mutable_backend
 
+if TYPE_CHECKING:
+    from repro.exec.backend import ExecutionBackend
+
 __all__ = ["Replica"]
 
 
 class Replica:
     """A health-tracked query backend inside a shard's replica group."""
 
-    def __init__(self, engine, replica_id: int):
+    def __init__(self, engine: Any, replica_id: int) -> None:
         self.backend = as_backend(engine)
         self.replica_id = int(replica_id)
         self.served_queries = 0
@@ -55,7 +59,9 @@ class Replica:
         return int(getattr(self.backend, "epoch", 0))
 
     # ----- updates ------------------------------------------------------
-    def apply_update(self, update: EdgeUpdate, shared=None) -> UpdateReceipt:
+    def apply_update(
+        self, update: EdgeUpdate, shared: dict[Any, Any] | None = None
+    ) -> UpdateReceipt:
         """Apply one live edge update to this replica's backend.
 
         The backend is upgraded to a
@@ -89,7 +95,9 @@ class Replica:
         return not self._down
 
     # ----- worker-side execution ---------------------------------------
-    def exec_submit(self, backend, nodes: np.ndarray, *, sparse: bool):
+    def exec_submit(
+        self, backend: ExecutionBackend | None, nodes: np.ndarray, *, sparse: bool
+    ) -> Any:
         """Submit one batch to the execution backend, or ``None`` to
         serve inline.
 
@@ -136,7 +144,7 @@ class Replica:
     # ----- serving ------------------------------------------------------
     def query_many(
         self, nodes: np.ndarray, *, collect_stats: bool = True
-    ) -> tuple[np.ndarray, list]:
+    ) -> tuple[np.ndarray, list[Any]]:
         """Serve one batch, accounting load to this replica."""
         t0 = time.perf_counter()
         out, meta = self.backend.query_many(nodes, collect_stats=collect_stats)
@@ -147,7 +155,7 @@ class Replica:
 
     def query_many_sparse(
         self, nodes: np.ndarray, *, collect_stats: bool = True
-    ) -> tuple:
+    ) -> tuple[Any, ...]:
         """Serve one batch as sparse CSR rows, accounting load.
 
         Exact: ``toarray()`` equals the dense :meth:`query_many` result

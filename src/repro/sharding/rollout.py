@@ -23,8 +23,13 @@ it counts *completed* versions.
 
 from __future__ import annotations
 
+from typing import Any, TYPE_CHECKING
+
 from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.errors import ShardingError
+
+if TYPE_CHECKING:  # circular at runtime: the router drives rollouts
+    from repro.sharding.router import ShardRouter
 
 __all__ = ["StaggeredRollout"]
 
@@ -32,7 +37,9 @@ __all__ = ["StaggeredRollout"]
 class StaggeredRollout:
     """Wave-by-wave fan-out of one edge update across a shard router."""
 
-    def __init__(self, router, update: EdgeUpdate, update_seconds: float):
+    def __init__(
+        self, router: "ShardRouter", update: EdgeUpdate, update_seconds: float
+    ) -> None:
         if update_seconds < 0:
             raise ShardingError(
                 f"update_seconds must be >= 0, got {update_seconds}"
@@ -43,7 +50,7 @@ class StaggeredRollout:
         self.waves = max(len(shard.replicas) for shard in router.shards)
         self.wave = 0
         self.receipt: UpdateReceipt | None = None
-        self._shared: dict = {}
+        self._shared: dict[Any, Any] = {}
 
     @property
     def done(self) -> bool:

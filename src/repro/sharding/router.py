@@ -26,7 +26,9 @@ replica engine.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,8 +41,11 @@ from repro.serving.adapters import QueryBackend
 from repro.serving.cache import CacheStats, PPVCache
 from repro.serving.service import SystemClock
 from repro.sharding.rollout import StaggeredRollout
-from repro.sharding.routing import resolve_policy
+from repro.sharding.routing import RoutingPolicy, resolve_policy
 from repro.sharding.shard import RouteInfo, Shard
+
+if TYPE_CHECKING:
+    from repro.exec.backend import ExecutionBackend
 
 __all__ = ["ShardStats", "ShardRouter"]
 
@@ -112,15 +117,15 @@ class ShardRouter(QueryBackend):
 
     def __init__(
         self,
-        shard_engines: list,
+        shard_engines: list[Any],
         *,
-        policy="round_robin",
+        policy: RoutingPolicy | str = "round_robin",
         owner_map: np.ndarray | None = None,
         cache_bytes: int | None = None,
-        cache_weight=None,
-        clock=None,
-        backend=None,
-    ):
+        cache_weight: Callable[..., float] | None = None,
+        clock: Any = None,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         if not shard_engines:
             raise ShardingError("need at least one shard")
         self.clock = clock if clock is not None else SystemClock()
@@ -182,7 +187,7 @@ class ShardRouter(QueryBackend):
                 "a staggered rollout is in progress — finish it before "
                 "applying further updates"
             )
-        shared: dict = {}
+        shared: dict[Any, Any] = {}
         receipt: UpdateReceipt | None = None
         for shard in self.shards:
             receipt = shard.apply_update(update, shared)
@@ -219,7 +224,10 @@ class ShardRouter(QueryBackend):
     supports_sparse = True  # native sparse fan-out below
 
     def query_many(
-        self, nodes, *, collect_stats: bool = True
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        *,
+        collect_stats: bool = True,
     ) -> tuple[np.ndarray, list[RouteInfo]]:
         """Route, fan out, merge: dense ``(len(nodes), n)`` rows in batch
         order plus one :class:`~repro.sharding.shard.RouteInfo` each.
@@ -253,8 +261,11 @@ class ShardRouter(QueryBackend):
         return out, infos
 
     def query_many_sparse(
-        self, nodes, *, collect_stats: bool = True
-    ) -> tuple:
+        self,
+        nodes: Sequence[int] | np.ndarray,
+        *,
+        collect_stats: bool = True,
+    ) -> tuple[Any, ...]:
         """Route, fan out, merge — sparse: CSR ``(len(nodes), n)`` rows
         in batch order plus one :class:`RouteInfo` each.
 
@@ -271,7 +282,7 @@ class ShardRouter(QueryBackend):
         infos: list[RouteInfo | None] = [None] * nodes.size
         assigned = self.policy.assign(nodes, self)
         self.batches += 1
-        parts: list = []
+        parts: list[Any] = []
         positions: list[np.ndarray] = []
         # Two-phase fan-out, as in query_many: submit all, then finish
         # in shard order so the merge stays deterministic.
@@ -295,7 +306,7 @@ class ShardRouter(QueryBackend):
 
     def query_many_topk(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         k: int,
         *,
         batch: int = DEFAULT_BATCH,

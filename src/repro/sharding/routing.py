@@ -20,10 +20,15 @@ traffic):
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import ShardingError
 from repro.partition.flat import FlatPartition
+
+if TYPE_CHECKING:  # circular at runtime: router imports the policies
+    from repro.sharding.router import ShardRouter
 
 __all__ = [
     "RoutingPolicy",
@@ -42,7 +47,7 @@ class RoutingPolicy:
 
     name = "base"
 
-    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+    def assign(self, nodes: np.ndarray, router: "ShardRouter") -> np.ndarray:
         """Shard index per query; ``router`` exposes shards and loads."""
         raise NotImplementedError
 
@@ -58,13 +63,13 @@ class OwnerAffinityPolicy(RoutingPolicy):
 
     name = "owner"
 
-    def __init__(self, owner_map: np.ndarray):
+    def __init__(self, owner_map: np.ndarray) -> None:
         owner_map = np.asarray(owner_map, dtype=np.int64)
         if owner_map.ndim != 1:
             raise ShardingError("owner_map must be a 1-D node->owner array")
         self.owner_map = owner_map
 
-    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+    def assign(self, nodes: np.ndarray, router: "ShardRouter") -> np.ndarray:
         num_shards = len(router.shards)
         if self.owner_map.size != router.num_nodes:
             raise ShardingError(
@@ -85,10 +90,10 @@ class RoundRobinPolicy(RoutingPolicy):
 
     name = "round_robin"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._next = 0
 
-    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+    def assign(self, nodes: np.ndarray, router: "ShardRouter") -> np.ndarray:
         num_shards = len(router.shards)
         shards = (self._next + np.arange(nodes.size, dtype=np.int64)) % num_shards
         self._next = int((self._next + nodes.size) % num_shards)
@@ -105,7 +110,7 @@ class LeastLoadedPolicy(RoutingPolicy):
 
     name = "least_loaded"
 
-    def assign(self, nodes: np.ndarray, router) -> np.ndarray:
+    def assign(self, nodes: np.ndarray, router: "ShardRouter") -> np.ndarray:
         loads = np.asarray(
             [shard.queries for shard in router.shards], dtype=np.int64
         )
@@ -123,7 +128,9 @@ _POLICIES = {
 }
 
 
-def resolve_policy(policy, owner_map: np.ndarray | None) -> RoutingPolicy:
+def resolve_policy(
+    policy: RoutingPolicy | str, owner_map: np.ndarray | None
+) -> RoutingPolicy:
     """A policy instance from an instance, ``"owner"``, ``"round_robin"``
     or ``"least_loaded"`` (``"owner"`` requires ``owner_map``)."""
     if isinstance(policy, RoutingPolicy):

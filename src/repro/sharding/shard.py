@@ -13,7 +13,9 @@ with a :class:`~repro.serving.service.SimulatedClock`.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -26,6 +28,9 @@ from repro.errors import ShardingError, WorkerDied
 from repro.serving.cache import PPVCache
 from repro.serving.service import SystemClock
 from repro.sharding.replica import Replica
+
+if TYPE_CHECKING:
+    from repro.exec.backend import ExecutionBackend
 
 __all__ = ["RouteInfo", "Shard", "NODE_ID_WIRE_BYTES", "TOPK_ENTRY_WIRE_BYTES"]
 
@@ -81,13 +86,13 @@ class Shard:
     def __init__(
         self,
         shard_id: int,
-        replicas: list,
+        replicas: list[Any],
         *,
         cache: PPVCache | None = None,
         meter: NetworkMeter | None = None,
-        clock=None,
-        backend=None,
-    ):
+        clock: Any = None,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         if not replicas:
             raise ShardingError(f"shard {shard_id} needs at least one replica")
         self.shard_id = int(shard_id)
@@ -123,7 +128,11 @@ class Shard:
         return min(r.epoch for r in self.replicas)
 
     def apply_update(
-        self, update: EdgeUpdate, shared=None, *, replica: int | None = None
+        self,
+        update: EdgeUpdate,
+        shared: dict[Any, Any] | None = None,
+        *,
+        replica: int | None = None,
     ) -> UpdateReceipt:
         """Fan one edge update to every replica (or just ``replica`` for a
         staggered-rollout wave), metering the update messages.
@@ -189,7 +198,9 @@ class Shard:
         return best
 
     # ----- serving ------------------------------------------------------
-    def _submit_compute(self, unique: np.ndarray, *, sparse: bool):
+    def _submit_compute(
+        self, unique: np.ndarray, *, sparse: bool
+    ) -> tuple[Replica, Any]:
         """Pick a replica and hand it the deduplicated batch.
 
         Returns ``(replica, future)`` where ``future`` is ``None`` when
@@ -210,7 +221,9 @@ class Shard:
                 continue
             return replica, future
 
-    def _finish_compute(self, replica, future, unique: np.ndarray, *, sparse: bool):
+    def _finish_compute(
+        self, replica: Replica, future: Any, unique: np.ndarray, *, sparse: bool
+    ) -> tuple[Any, Replica]:
         """Resolve one submitted batch, failing over on worker death.
 
         A :class:`~repro.errors.WorkerDied` from the future marks the
@@ -288,7 +301,7 @@ class Shard:
             plan.replica = plan.future = None
         return plan
 
-    def _finish(self, plan: _PendingBatch) -> tuple:
+    def _finish(self, plan: _PendingBatch) -> tuple[Any, ...]:
         """Finish half of one batch: resolve, scatter, fill the cache.
 
         Rows are epoch-tagged: cache hits carry the shard's completed
@@ -333,15 +346,17 @@ class Shard:
             return rows_matrix(plan.row_vecs, self.num_nodes), plan.infos
         return plan.out, plan.infos
 
-    def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list]:
+    def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list[Any]]:
         """Dense rows for ``nodes`` via cache + chosen replica (unmetered)."""
         return self._finish(self._plan(nodes, sparse=False))
 
-    def _serve_sparse(self, nodes: np.ndarray) -> tuple:
+    def _serve_sparse(self, nodes: np.ndarray) -> tuple[Any, ...]:
         """Sparse rows for ``nodes`` via cache + chosen replica (unmetered)."""
         return self._finish(self._plan(nodes, sparse=True))
 
-    def query_many_submit(self, nodes) -> _PendingBatch:
+    def query_many_submit(
+        self, nodes: Sequence[int] | np.ndarray
+    ) -> _PendingBatch:
         """Start one routed dense batch: meter the request leg, scan the
         cache and submit the misses; resolve with
         :meth:`query_many_finish`.  The router submits to every shard
@@ -362,7 +377,9 @@ class Shard:
         self.meter.record(f"shard-{self.shard_id}", "router", out.nbytes)
         return out, infos
 
-    def query_many_sparse_submit(self, nodes) -> _PendingBatch:
+    def query_many_sparse_submit(
+        self, nodes: Sequence[int] | np.ndarray
+    ) -> _PendingBatch:
         """Sparse twin of :meth:`query_many_submit`."""
         nodes = validate_batch(nodes, self.num_nodes)
         self.meter.record(
@@ -370,7 +387,7 @@ class Shard:
         )
         return self._plan(nodes, sparse=True)
 
-    def query_many_sparse_finish(self, plan: _PendingBatch) -> tuple:
+    def query_many_sparse_finish(self, plan: _PendingBatch) -> tuple[Any, ...]:
         """Finish a batch from :meth:`query_many_sparse_submit`, metering
         each response row at its sparse wire size (``16 + 12·nnz``
         bytes) — on pruned indexes a fraction of the dense ``8n``-byte
@@ -384,7 +401,9 @@ class Shard:
         )
         return out, infos
 
-    def query_many(self, nodes) -> tuple[np.ndarray, list[RouteInfo]]:
+    def query_many(
+        self, nodes: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, list[RouteInfo]]:
         """Serve one routed batch of dense PPV rows, metering the wire.
 
         Request: ``8`` bytes per node id; response: one dense ``8n``-byte
@@ -392,7 +411,7 @@ class Shard:
         """
         return self.query_many_finish(self.query_many_submit(nodes))
 
-    def query_many_sparse(self, nodes) -> tuple:
+    def query_many_sparse(self, nodes: Sequence[int] | np.ndarray) -> tuple[Any, ...]:
         """Serve one routed batch as sparse CSR rows, metering the wire.
 
         Request: ``8`` bytes per node id; response: one *sparse* row per
@@ -402,7 +421,7 @@ class Shard:
 
     def query_many_topk(
         self,
-        nodes,
+        nodes: Sequence[int] | np.ndarray,
         k: int,
         *,
         batch: int = DEFAULT_BATCH,

@@ -1,0 +1,8 @@
+"""Bad: += accumulation inside a loop over a set (RPR004)."""
+
+
+def total(residuals: set) -> float:
+    acc = 0.0
+    for r in residuals:  # expect: RPR001
+        acc += r  # expect: RPR004
+    return acc

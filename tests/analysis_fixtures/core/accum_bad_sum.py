@@ -1,0 +1,9 @@
+"""Bad: sum() over hash-ordered containers (RPR004)."""
+
+
+def mass(values: set) -> float:
+    return sum(values)  # expect: RPR004
+
+
+def weighted(pairs: frozenset) -> float:
+    return sum(w for _, w in pairs)  # expect: RPR001,RPR004

@@ -1,0 +1,24 @@
+"""Good: ReproError subclasses at the boundary, narrow catches."""
+
+from repro.errors import QueryError
+
+
+def get_vector(store, node):
+    try:
+        return store[node]
+    except KeyError:
+        raise QueryError(f"unknown node {node}") from None
+
+
+def _check_internal(x):
+    if x < 0:
+        raise ValueError("internal invariant")  # private helper: allowed
+    return x
+
+
+class Resource:
+    def __exit__(self, *exc):
+        try:
+            self.handle.close()
+        except Exception:
+            pass  # best-effort teardown is exempt

@@ -1,0 +1,11 @@
+"""Bad: in-place writes through shared buffer aliases (RPR003)."""
+
+
+def zero_entries(vec, mask):
+    vec.val[mask] = 0.0  # expect: RPR003
+    vec.idx = mask  # expect: RPR003
+    return vec
+
+
+def bump(matrix):
+    matrix.data[0] += 1.0  # expect: RPR003

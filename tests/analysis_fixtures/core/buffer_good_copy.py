@@ -1,0 +1,24 @@
+"""Good: mutate only owned copies; constructors own self; freeze is fine."""
+
+
+class Holder:
+    def __init__(self, idx, val):
+        self.idx = idx
+        self.val = val
+
+
+def rescale(vec, factor):
+    data = vec.val.copy()
+    data *= factor
+    return data
+
+
+def freeze(arr):
+    arr.flags.writeable = False
+    return arr
+
+
+def rebuild(raw):
+    fresh = raw.copy()
+    fresh.data[0] = 0.0
+    return fresh

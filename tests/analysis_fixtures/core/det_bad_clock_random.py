@@ -1,0 +1,13 @@
+"""Bad: wall-clock reads and unseeded randomness (RPR001)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    started = time.time()  # expect: RPR001
+    jitter = random.random()  # expect: RPR001
+    rng = np.random.default_rng()  # expect: RPR001
+    return started, jitter, rng

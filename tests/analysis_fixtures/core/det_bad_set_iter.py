@@ -1,0 +1,13 @@
+"""Bad: set iteration leaks hash order into output (RPR001)."""
+
+
+def emit(nodes):
+    seen = {3, 1, 2}
+    out = []
+    for node in seen:  # expect: RPR001
+        out.append(node)
+    return out
+
+
+def snapshot(pending: set):
+    return list(pending)  # expect: RPR001

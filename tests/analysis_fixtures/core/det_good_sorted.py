@@ -1,0 +1,18 @@
+"""Good: sorted set iteration, seeded randomness, ordered dicts."""
+
+import random
+
+
+def emit(nodes: set) -> list:
+    rng = random.Random(7)
+    out = []
+    for node in sorted(nodes):
+        out.append((node, rng.random()))
+    return out
+
+
+def weights(by_node: dict) -> float:
+    total = 0.0
+    for key in by_node:
+        total += by_node[key]
+    return total

@@ -1,0 +1,15 @@
+"""Bad: handlers that mask failures (RPR005)."""
+
+
+def lookup(store, key):
+    try:
+        return store[key]
+    except:  # expect: RPR005
+        return None
+
+
+def flush(link):
+    try:
+        link.flush()
+    except Exception:  # expect: RPR005
+        pass

@@ -1,0 +1,10 @@
+"""Bad: wire codec used without charging a NetworkMeter (RPR002)."""
+
+
+def send(vec, link):
+    payload = vec.to_wire()  # expect: RPR002
+    link.push(payload)
+
+
+def receive(payload, codec):
+    return codec.from_wire(payload)  # expect: RPR002

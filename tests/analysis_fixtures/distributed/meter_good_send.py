@@ -1,0 +1,13 @@
+"""Good: every wire payload is charged on the NetworkMeter."""
+
+
+def send(vec, link, meter, src, dst):
+    payload = vec.to_wire()
+    meter.record(src, dst, len(payload))
+    link.push(payload)
+
+
+def reply_cost(vectors, net_meter):
+    cost = sum(v.wire_bytes for v in vectors)
+    net_meter.record(0, 1, cost)
+    return cost

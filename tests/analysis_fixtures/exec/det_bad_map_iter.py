@@ -1,0 +1,13 @@
+"""Bad: unordered map iteration at the process boundary (RPR001).
+
+Outside ``exec/`` dict iteration is insertion-ordered and fine; at the
+process boundary registration order decides worker assignment, so it
+must be made explicit.
+"""
+
+
+def assign(states):
+    order = []
+    for key, state in states.items():  # expect: RPR001
+        order.append((key, state))
+    return order

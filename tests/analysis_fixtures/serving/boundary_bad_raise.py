@@ -1,0 +1,13 @@
+"""Bad: public API raising builtins (RPR005)."""
+
+
+def get_vector(store, node):
+    if node not in store:
+        raise KeyError(node)  # expect: RPR005
+    return store[node]
+
+
+def validate(alpha):
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha out of range")  # expect: RPR005
+    return alpha

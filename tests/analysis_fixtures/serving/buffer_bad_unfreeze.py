@@ -1,0 +1,6 @@
+"""Bad: re-enabling writes on a frozen shared array (RPR003)."""
+
+
+def thaw(arr):
+    arr.flags.writeable = True  # expect: RPR003
+    return arr

@@ -1,0 +1,5 @@
+"""Bad: prices payloads but never touches a meter (RPR002)."""
+
+
+def reply_cost(vectors):
+    return max(v.wire_bytes for v in vectors)  # expect: RPR002
