@@ -35,7 +35,13 @@ import time
 
 import numpy as np
 
-from repro.bench import ExperimentTable, gpa_index, results_dir, zipf_stream
+from repro.bench import (
+    ExperimentTable,
+    gpa_index,
+    kernel_backend_info,
+    results_dir,
+    zipf_stream,
+)
 from repro.distributed import DistributedGPA
 from repro.exec import ProcessPoolBackend
 from repro.sharding.router import ShardRouter
@@ -156,6 +162,7 @@ def test_multiprocess_backend():
         "batch": BATCH,
         "repeat": REPEAT,
         "cpu_count": CPU_COUNT,
+        **kernel_backend_info(),
         "rows": rows,
     }
     out = results_dir() / "BENCH_multiprocess.json"

@@ -49,6 +49,7 @@ from repro.bench import (
     ExperimentTable,
     gpa_index,
     hgpa_index,
+    kernel_backend_info,
     results_dir,
     zipf_stream,
 )
@@ -181,6 +182,7 @@ def test_sparse_query_pipeline():
         "smoke": SMOKE,
         "batch": BATCH,
         "repeat": REPEAT,
+        **kernel_backend_info(),
         "rows": rows,
     }
     out = results_dir() / "BENCH_sparse_queries.json"

@@ -32,6 +32,7 @@ from repro.core.flat_index import (
 )
 from repro.core.sparse_ops import finalize_csr
 from repro.core.sparsevec import SparseVec
+from repro.kernels.dispatch import KernelsLike
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.analysis import top_pagerank_nodes
 from repro.graph.digraph import DiGraph
@@ -58,6 +59,9 @@ class FastPPVIndex:
     hubs: np.ndarray
     hub_partials: dict[int, SparseVec] = field(default_factory=dict)
     hub_frontier: dict[int, SparseVec] = field(default_factory=dict)
+    #: Kernel bundle / backend name the query-time solves dispatch to
+    #: (``None`` = the process default from the capability probe).
+    kernels: KernelsLike = None
 
     def total_bytes(self) -> int:
         stores = (self.hub_partials, self.hub_frontier)
@@ -155,6 +159,7 @@ class FastPPVIndex:
             alpha=self.alpha,
             tol=self.tol,
             per_column=True,
+            kernels=self.kernels,
         )
         solve_each = (time.perf_counter() - t0) / nodes.size
         infos: list[FastPPVQueryInfo] = []
@@ -257,6 +262,7 @@ class FastPPVIndex:
             n,
             batch,
             threshold,
+            kernels=self.kernels,
         )
 
     def _expand_frontier(
@@ -310,6 +316,7 @@ def build_fastppv_index(
     tol: float = 1e-4,
     prune: float | None = None,
     batch: int = 256,
+    kernels: KernelsLike = None,
 ) -> FastPPVIndex:
     """Pre-compute the FastPPV index with the top-``num_hubs`` PageRank hubs."""
     if num_hubs < 1:
@@ -320,6 +327,7 @@ def build_fastppv_index(
         alpha=alpha,
         tol=tol,
         hubs=hubs,
+        kernels=kernels,
     )
     cutoff = tol if prune is None else prune
     view = as_view(graph)

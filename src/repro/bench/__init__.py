@@ -7,6 +7,7 @@ from repro.bench.harness import (
     gpa_index,
     hgpa_index,
     jw_index,
+    kernel_backend_info,
     results_dir,
     time_queries,
     zipf_stream,
@@ -20,6 +21,7 @@ __all__ = [
     "jw_index",
     "fastppv_index",
     "bench_queries",
+    "kernel_backend_info",
     "time_queries",
     "zipf_stream",
 ]

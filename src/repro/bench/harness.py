@@ -27,6 +27,7 @@ from repro.core.gpa import GPAIndex, build_gpa_index
 from repro.core.hgpa import HGPAIndex, build_hgpa_index
 from repro.core.jw import JWIndex, build_jw_index
 from repro.approx.fastppv import FastPPVIndex, build_fastppv_index
+from repro.kernels import active_kernels
 
 __all__ = [
     "ExperimentTable",
@@ -36,6 +37,7 @@ __all__ = [
     "jw_index",
     "fastppv_index",
     "bench_queries",
+    "kernel_backend_info",
     "time_queries",
     "zipf_stream",
 ]
@@ -84,6 +86,22 @@ class ExperimentTable:
         print("\n" + text)
         safe = self.experiment.lower().replace(" ", "_").replace("/", "-")
         (results_dir() / f"{safe}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def kernel_backend_info() -> dict[str, object]:
+    """The active kernel backend + capability probe, for bench payloads.
+
+    Every ``results/BENCH_*.json`` carries these two keys so recorded
+    numbers are attributable: ``kernel_backend`` names what actually
+    dispatched (after any silent downgrade) and ``kernel_report`` holds
+    the full probe — requested backend, per-capability availability and
+    downgrade notes.
+    """
+    kern = active_kernels()
+    return {
+        "kernel_backend": kern.backend,
+        "kernel_report": kern.report.as_dict(),
+    }
 
 
 def _fmt(value: object) -> str:

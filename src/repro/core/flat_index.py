@@ -31,12 +31,14 @@ from repro.core.sparse_ops import (
     finalize_csr,
     point_matrix,
     rows_matrix,
-    scaled_transpose_csc,
+    sparse_add,
+    spgemm_scaled,
     subtract_at,
     topk_rows_sparse,
     weight_row_stats,
 )
 from repro.core.sparsevec import SparseVec
+from repro.kernels.dispatch import KernelsLike, resolve_kernels
 from repro.errors import QueryError
 from repro.metrics.ranking import top_k_nodes
 from repro.graph.digraph import DiGraph
@@ -167,7 +169,11 @@ def run_in_batches(
 
 
 def topk_rows(
-    dense: np.ndarray, k: int, *, threshold: float | None = None
+    dense: np.ndarray,
+    k: int,
+    *,
+    threshold: float | None = None,
+    kernels: KernelsLike = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-row top-k of a ``(rows, n)`` matrix: ``(ids, scores)`` pairs.
 
@@ -199,6 +205,16 @@ def topk_rows(
             np.empty((rows, max(k, 0)), dtype=np.int64),
             np.empty((rows, max(k, 0))),
         )
+    kern = resolve_kernels(kernels).topk_dense
+    if kern is not None:
+        ids, scores = kern(
+            np.ascontiguousarray(dense, dtype=np.float64), k
+        )
+        if threshold is not None:
+            dropped = scores <= threshold
+            ids[dropped] = -1
+            scores[dropped] = 0.0
+        return ids, scores
     part = np.argpartition(-dense, k - 1, axis=1)
     kth = np.take_along_axis(dense, part[:, k - 1 : k], axis=1)
     greater = dense > kth
@@ -254,6 +270,7 @@ def topk_in_batches(
     num_nodes: int,
     batch: int = DEFAULT_BATCH,
     threshold: float | None = None,
+    kernels: KernelsLike = None,
 ) -> tuple[np.ndarray, np.ndarray, list[Any]]:
     """Chunked top-k reduction over a ``query_many``-style callable.
 
@@ -279,7 +296,9 @@ def topk_in_batches(
         sl = slice(lo, min(lo + step, nodes.size))
         chunk, meta = query_many_fn(nodes[sl])
         reduce = topk_rows_sparse if sp.issparse(chunk) else topk_rows
-        ids[sl], scores[sl] = reduce(chunk, k_eff, threshold=threshold)
+        ids[sl], scores[sl] = reduce(
+            chunk, k_eff, threshold=threshold, kernels=kernels
+        )
         metas.extend(meta)
     return ids, scores, metas
 
@@ -312,6 +331,9 @@ class FlatPPVIndex:
     skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
     node_partials: dict[int, SparseVec] = field(default_factory=dict)
     build_cost: dict[tuple[Any, ...], float] = field(default_factory=dict)
+    #: Kernel bundle / backend name the index's hot loops dispatch to
+    #: (``None`` = the process default from the capability probe).
+    kernels: KernelsLike = None
     _ops_cache: tuple[Any, ...] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -469,8 +491,9 @@ class FlatPPVIndex:
                 raw = skel_csr[chunk]
                 hub_rows, pos = find_sorted(self.hubs, chunk)
                 weights = subtract_at(raw, hub_rows, pos[hub_rows], self.alpha)
-                level = part_csc @ scaled_transpose_csc(weights, inv_alpha)
-                level.sort_indices()
+                level = spgemm_scaled(
+                    part_csc, weights, inv_alpha, kernels=self.kernels
+                )
                 rows = level.T.tocsr()
                 if collect_stats:
                     counts, entries = weight_row_stats(weights, nnz_per_hub)
@@ -489,9 +512,9 @@ class FlatPPVIndex:
             own, alpha_pts = self._own_term_matrix(
                 chunk, stats[sl] if collect_stats else None
             )
-            rows = rows + own
+            rows = sparse_add(rows, own, kernels=self.kernels)
             if alpha_pts is not None:
-                rows = rows + alpha_pts
+                rows = sparse_add(rows, alpha_pts, kernels=self.kernels)
             chunks.append(rows)
         out = chunks[0] if len(chunks) == 1 else sp.vstack(chunks, format="csr")
         return finalize_csr(out, (nodes.size, n)), stats
@@ -572,6 +595,7 @@ class FlatPPVIndex:
             n,
             batch,
             threshold,
+            kernels=self.kernels,
         )
 
     def query_reference(self, u: int) -> tuple[np.ndarray, QueryStats]:
@@ -641,6 +665,7 @@ class FlatPPVIndex:
             d, _ = partial_vectors(
                 view, hub_local, which_local[chunk],
                 alpha=self.alpha, tol=self.tol, per_column=True,
+                kernels=self.kernels,
             )
             per_col = (time.perf_counter() - t0) / max(1, hubs_chunk.size)
             for j, h in enumerate(hubs_chunk.tolist()):
@@ -680,6 +705,7 @@ class FlatPPVIndex:
             d, _ = partial_vectors(
                 view, hub_local, src_local[chunk],
                 alpha=self.alpha, tol=self.tol, per_column=True,
+                kernels=self.kernels,
             )
             per_col = (time.perf_counter() - t0) / max(1, sources[chunk].size)
             for j, u in enumerate(sources[chunk].tolist()):

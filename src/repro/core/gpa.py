@@ -18,6 +18,7 @@ from repro.core.flat_index import DEFAULT_BATCH, FlatPPVIndex, full_view
 from repro.errors import IndexBuildError
 from repro.graph.digraph import DiGraph
 from repro.graph.subgraph import VirtualSubgraph
+from repro.kernels.dispatch import KernelsLike
 from repro.partition.flat import FlatPartition, flat_partition
 
 __all__ = ["GPAIndex", "build_gpa_index"]
@@ -46,6 +47,7 @@ def build_gpa_index(
     cover_method: str = "auto",
     batch: int = DEFAULT_BATCH,
     partition: FlatPartition | None = None,
+    kernels: KernelsLike = None,
 ) -> GPAIndex:
     """Pre-compute the GPA index over an ``num_parts``-way partition.
 
@@ -65,6 +67,7 @@ def build_gpa_index(
         prune=tol if prune is None else prune,
         hubs=partition.hubs,
         partition=partition,
+        kernels=kernels,
     )
     # Hub partial vectors and skeleton columns live on the whole graph: a
     # hub's neighbourhood spans the subgraphs it bridges, and skeleton

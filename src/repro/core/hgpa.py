@@ -45,13 +45,15 @@ from repro.core.sparse_ops import (
     fold_depth_blocks,
     point_matrix,
     rows_matrix,
-    scaled_transpose_csc,
+    sparse_add,
     sparse_in_batches,
+    spgemm_scaled,
     subtract_at,
     weight_row_stats,
     zero_rows_in_columns,
 )
 from repro.core.sparsevec import SparseVec
+from repro.kernels.dispatch import KernelsLike
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.digraph import DiGraph
 from repro.graph.subgraph import VirtualSubgraph
@@ -80,6 +82,9 @@ class HGPAIndex:
     skeleton_cols: dict[int, SparseVec] = field(default_factory=dict)
     leaf_ppv: dict[int, SparseVec] = field(default_factory=dict)
     build_cost: dict[tuple[Any, ...], float] = field(default_factory=dict)
+    #: Kernel bundle / backend name the index's hot loops dispatch to
+    #: (``None`` = the process default from the capability probe).
+    kernels: KernelsLike = None
     _level_ops_cache: dict[int, tuple[Any, ...]] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -279,7 +284,9 @@ class HGPAIndex:
                 weights = subtract_at(
                     raw, own_rows[hits], pos[hits], self.alpha
                 )
-            level = part_csc @ scaled_transpose_csc(weights, inv_alpha)
+            level = spgemm_scaled(
+                part_csc, weights, inv_alpha, kernels=self.kernels
+            )
             rest = np.nonzero(~own_arr)[0]
             if rest.size:
                 # Port repair, sparse form: the dense overwrite splits
@@ -308,7 +315,9 @@ class HGPAIndex:
                     s.skeleton_lookups += int(looked[k])
                     s.vectors_used += int(counts[k])
                     s.entries_processed += int(entries[k])
-        acc = fold_depth_blocks(by_depth, ports, nodes.size, n)
+        acc = fold_depth_blocks(
+            by_depth, ports, nodes.size, n, kernels=self.kernels
+        )
         if acc is None:
             out = sp.csr_matrix((nodes.size, n))
         else:
@@ -329,13 +338,17 @@ class HGPAIndex:
             if collect_stats:
                 stats[qpos].entries_processed += own.nnz
                 stats[qpos].vectors_used += 1
-        out = out + rows_matrix(vecs, n)
+        out = sparse_add(out, rows_matrix(vecs, n), kernels=self.kernels)
         if alpha_rows:
-            out = out + point_matrix(
-                np.asarray(alpha_rows),
-                np.asarray(alpha_cols),
-                np.full(len(alpha_rows), self.alpha),
-                (nodes.size, n),
+            out = sparse_add(
+                out,
+                point_matrix(
+                    np.asarray(alpha_rows),
+                    np.asarray(alpha_cols),
+                    np.full(len(alpha_rows), self.alpha),
+                    (nodes.size, n),
+                ),
+                kernels=self.kernels,
             )
         return finalize_csr(out, (nodes.size, n)), stats
 
@@ -372,7 +385,10 @@ class HGPAIndex:
         """
         n = self.graph.num_nodes
         nodes = validate_batch(nodes, n)
-        return topk_in_batches(self.query_many, nodes, k, n, batch, threshold)
+        return topk_in_batches(
+            self.query_many, nodes, k, n, batch, threshold,
+            kernels=self.kernels,
+        )
 
     def query_detailed(self, u: int) -> tuple[np.ndarray, QueryStats]:
         """PPV of ``u`` plus work counters (Eq. 6 evaluation).
@@ -525,6 +541,7 @@ def build_hgpa_index(
     seed: int = 0,
     cover_method: str = "auto",
     batch: int = DEFAULT_BATCH,
+    kernels: KernelsLike = None,
 ) -> HGPAIndex:
     """Pre-compute the full HGPA index.
 
@@ -550,6 +567,7 @@ def build_hgpa_index(
         alpha=alpha,
         tol=tol,
         prune=tol if prune is None else prune,
+        kernels=kernels,
     )
     for sg in hierarchy.subgraphs:
         if sg.hubs.size:
@@ -584,6 +602,7 @@ def _build_subgraph_hub_side(
         d, _ = partial_vectors(
             view, hub_local, hub_local[sl],
             alpha=index.alpha, tol=index.tol, per_column=True,
+            kernels=index.kernels,
         )
         per_col = (time.perf_counter() - t0) / max(1, chunk.size)
         for j, h in enumerate(chunk.tolist()):
@@ -613,6 +632,7 @@ def _build_leaf_ppvs(
         d, _ = partial_vectors(
             view, empty, src_local[sl],
             alpha=index.alpha, tol=index.tol, per_column=True,
+            kernels=index.kernels,
         )
         per_col = (time.perf_counter() - t0) / max(1, nodes[sl].size)
         for j, u in enumerate(nodes[sl].tolist()):

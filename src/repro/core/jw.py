@@ -15,6 +15,7 @@ from repro.core.flat_index import DEFAULT_BATCH, FlatPPVIndex, full_view
 from repro.errors import IndexBuildError
 from repro.graph.analysis import top_pagerank_nodes
 from repro.graph.digraph import DiGraph
+from repro.kernels.dispatch import KernelsLike
 
 __all__ = ["JWIndex", "build_jw_index"]
 
@@ -32,6 +33,7 @@ def build_jw_index(
     tol: float = 1e-4,
     prune: float | None = None,
     batch: int = DEFAULT_BATCH,
+    kernels: KernelsLike = None,
 ) -> JWIndex:
     """Pre-compute the PPV-JW index.
 
@@ -50,6 +52,7 @@ def build_jw_index(
         tol=tol,
         prune=tol if prune is None else prune,
         hubs=hubs,
+        kernels=kernels,
     )
     view = full_view(graph)
     hub_local = hubs  # identity mapping on the full view

@@ -29,6 +29,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.sparsevec import SparseVec
+from repro.kernels.dispatch import KernelsLike, resolve_kernels
 
 __all__ = [
     "assemble_columns",
@@ -37,6 +38,8 @@ __all__ = [
     "point_matrix",
     "subtract_at",
     "scaled_transpose_csc",
+    "spgemm_scaled",
+    "sparse_add",
     "zero_rows_in_columns",
     "weight_row_stats",
     "column_sparsevec",
@@ -116,6 +119,96 @@ def scaled_transpose_csc(
     return sp.csc_matrix((data, w.indices, w.indptr), shape=(h, g))
 
 
+def _as_int64(a: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.int64)
+
+
+def _as_float64(a: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.float64)
+
+
+def spgemm_scaled(
+    part_csc: sp.csc_matrix,
+    w: sp.csr_matrix,
+    factor: float,
+    *,
+    divide: bool = False,
+    kernels: KernelsLike = None,
+) -> sp.csc_matrix:
+    """``part_csc @ (w scaled).T`` as a *canonical* (sorted) CSC — the
+    level-term product every sparse batch path computes per subgraph.
+
+    The kernel path replays scipy's CSC @ CSC scatter (per output column,
+    B's stored entries in stored order, each scattering A's column) so
+    the accumulated values are bitwise identical; it emits columns
+    row-sorted directly, where scipy emits touch order and the call sites
+    sorted afterwards — same canonical matrix either way, which is why
+    this wrapper always returns sorted indices and callers drop their
+    ``sort_indices()``.
+    """
+    b = scaled_transpose_csc(w, factor, divide=divide)
+    kern = resolve_kernels(kernels).spgemm_csc
+    if kern is not None and part_csc.format == "csc":
+        n_rows, _ = part_csc.shape
+        n_cols = b.shape[1]
+        indptr, indices, data = kern(
+            _as_int64(part_csc.indptr),
+            _as_int64(part_csc.indices),
+            _as_float64(part_csc.data),
+            _as_int64(b.indptr),
+            _as_int64(b.indices),
+            _as_float64(b.data),
+            n_rows,
+            n_cols,
+        )
+        out = sp.csc_matrix((data, indices, indptr), shape=(n_rows, n_cols))
+        out.has_sorted_indices = True
+        out.has_canonical_format = True
+        return out
+    out = part_csc @ b
+    out.sort_indices()
+    return out
+
+
+def sparse_add(
+    a: sp.spmatrix, b: sp.spmatrix, *, kernels: KernelsLike = None
+) -> sp.spmatrix:
+    """``a + b`` through the kernel seam — the level-merge / accumulator
+    fold of the sparse batch paths.
+
+    The kernel is a two-pointer merge over canonical same-format inputs
+    that computes each overlapping entry as the single ``a + b`` scipy's
+    canonical binop computes (dropping exact-zero results exactly as
+    scipy does); anything not eligible — mixed formats, unsorted or
+    non-canonical operands — falls through to scipy's own ``a + b``.
+    """
+    kern = resolve_kernels(kernels).cs_add
+    if (
+        kern is not None
+        and a.format == b.format
+        and a.format in ("csr", "csc")
+        and a.shape == b.shape
+        and a.has_sorted_indices
+        and a.has_canonical_format
+        and b.has_sorted_indices
+        and b.has_canonical_format
+    ):
+        indptr, indices, data = kern(
+            _as_int64(a.indptr),
+            _as_int64(a.indices),
+            _as_float64(a.data),
+            _as_int64(b.indptr),
+            _as_int64(b.indices),
+            _as_float64(b.data),
+        )
+        cls = sp.csr_matrix if a.format == "csr" else sp.csc_matrix
+        out = cls((data, indices, indptr), shape=a.shape)
+        out.has_sorted_indices = True
+        out.has_canonical_format = True
+        return out
+    return a + b
+
+
 def assemble_columns(
     blocks: list[tuple[int, sp.csc_matrix]], total_cols: int, n: int
 ) -> sp.csc_matrix:
@@ -152,6 +245,8 @@ def fold_depth_blocks(
     ports: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
     total_cols: int,
     n: int,
+    *,
+    kernels: KernelsLike = None,
 ) -> sp.csc_matrix | None:
     """Merge depth-bucketed level-term blocks into one ``(n, total_cols)``
     CSC accumulator — the shared core of both HGPA sparse batch paths.
@@ -172,14 +267,18 @@ def fold_depth_blocks(
         mat.sort_indices()  # canonicalize the raw matmul blocks once
         depth_ports = ports.get(depth)
         if depth_ports:
-            mat = mat + point_matrix(
-                np.concatenate([p[0] for p in depth_ports]),
-                np.concatenate([p[1] for p in depth_ports]),
-                np.concatenate([p[2] for p in depth_ports]),
-                (n, total_cols),
-                fmt="csc",
+            mat = sparse_add(
+                mat,
+                point_matrix(
+                    np.concatenate([p[0] for p in depth_ports]),
+                    np.concatenate([p[1] for p in depth_ports]),
+                    np.concatenate([p[2] for p in depth_ports]),
+                    (n, total_cols),
+                    fmt="csc",
+                ),
+                kernels=kernels,
             )
-        acc = mat if acc is None else acc + mat
+        acc = mat if acc is None else sparse_add(acc, mat, kernels=kernels)
     return acc
 
 
@@ -252,7 +351,11 @@ def row_sparsevec(mat: sp.csr_matrix, row: int) -> SparseVec:
 
 
 def topk_rows_sparse(
-    mat: sp.spmatrix, k: int, *, threshold: float | None = None
+    mat: sp.spmatrix,
+    k: int,
+    *,
+    threshold: float | None = None,
+    kernels: KernelsLike = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-row top-k of a sparse ``(rows, n)`` matrix — exact mirror of
     the dense :func:`repro.core.flat_index.topk_rows` contract.
@@ -273,6 +376,20 @@ def topk_rows_sparse(
             np.empty((rows, max(k, 0)), dtype=np.int64),
             np.empty((rows, max(k, 0))),
         )
+    kern = resolve_kernels(kernels).topk_sparse
+    if kern is not None:
+        ids, scores = kern(
+            _as_int64(mat.indptr),
+            _as_int64(mat.indices),
+            _as_float64(mat.data),
+            n,
+            k,
+        )
+        if threshold is not None:
+            dropped = scores <= threshold
+            ids[dropped] = -1
+            scores[dropped] = 0.0
+        return ids, scores
     ids = np.empty((rows, k), dtype=np.int64)
     scores = np.empty((rows, k))
     indptr, indices, data = mat.indptr, mat.indices, mat.data

@@ -49,6 +49,7 @@ from repro.distributed.machine_tasks import (
 from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
 from repro.exec.backend import ExecutionBackend
+from repro.kernels.dispatch import KernelsLike, resolve_kernels
 
 __all__ = ["DistributedGPA"]
 
@@ -64,6 +65,7 @@ class DistributedGPA(ClusterBase):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend: ExecutionBackend | None = None,
         wire_version: int = 1,
+        kernels: KernelsLike = None,
     ) -> None:
         super().__init__(
             num_nodes=index.graph.num_nodes,
@@ -71,6 +73,11 @@ class DistributedGPA(ClusterBase):
             wire_version=wire_version,
         )
         self.index = index
+        #: Kernel bundle / backend the machine tasks dispatch to; defaults
+        #: to the index's own setting so one switch flips the whole stack.
+        self.kernels: KernelsLike = (
+            index.kernels if kernels is None else kernels
+        )
         self.epoch = 0
         self.init_cluster(num_machines)
         self.init_exec(backend)
@@ -170,6 +177,7 @@ class DistributedGPA(ClusterBase):
                     self.index.hubs,
                     self._ops_for(mid),
                     self.machines[mid].store,
+                    kernels=self.kernels,
                 )
 
             return build
@@ -183,7 +191,12 @@ class DistributedGPA(ClusterBase):
             gpa_machine_arrays(ops, self.index.hubs, part_store)
         )
         self._exec_arenas.append(descriptor)
-        return GPAMachineBuilder(descriptor, self.index.alpha, self.num_nodes)
+        return GPAMachineBuilder(
+            descriptor,
+            self.index.alpha,
+            self.num_nodes,
+            kernel_backend=resolve_kernels(self.kernels).backend,
+        )
 
     # ------------------------------------------------------------------
     def _add_own_vector(

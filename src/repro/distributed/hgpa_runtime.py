@@ -57,6 +57,7 @@ from repro.distributed.network import DEFAULT_COST_MODEL, CostModel
 from repro.errors import ClusterError, QueryError
 from repro.exec.backend import ExecutionBackend
 from repro.exec.states import _HierarchyHandle
+from repro.kernels.dispatch import KernelsLike, resolve_kernels
 
 __all__ = ["DistributedHGPA"]
 
@@ -88,6 +89,7 @@ class DistributedHGPA(ClusterBase):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend: ExecutionBackend | None = None,
         wire_version: int = 1,
+        kernels: KernelsLike = None,
     ) -> None:
         super().__init__(
             num_nodes=index.graph.num_nodes,
@@ -95,6 +97,11 @@ class DistributedHGPA(ClusterBase):
             wire_version=wire_version,
         )
         self.index = index
+        #: Kernel bundle / backend the machine tasks dispatch to; defaults
+        #: to the index's own setting so one switch flips the whole stack.
+        self.kernels: KernelsLike = (
+            index.kernels if kernels is None else kernels
+        )
         self.epoch = 0
         self.init_cluster(num_machines)
         self.init_exec(backend)
@@ -190,6 +197,7 @@ class DistributedHGPA(ClusterBase):
                     self.index.hierarchy,
                     _LiveLevelOps(self, mid),
                     self.machines[mid].store,
+                    kernels=self.kernels,
                 )
 
             return build
@@ -212,6 +220,7 @@ class DistributedHGPA(ClusterBase):
             _HierarchyHandle.from_hierarchy(self.index.hierarchy),
             self.index.alpha,
             self.num_nodes,
+            kernel_backend=resolve_kernels(self.kernels).backend,
         )
 
     # ------------------------------------------------------------------

@@ -33,12 +33,14 @@ from repro.core.sparse_ops import (
     fold_depth_blocks,
     point_matrix,
     rows_matrix,
-    scaled_transpose_csc,
+    sparse_add,
+    spgemm_scaled,
     subtract_at,
     weight_row_stats,
     zero_rows_in_columns,
 )
 from repro.core.sparsevec import SparseVec
+from repro.kernels.dispatch import KernelsLike
 from repro.exec.shm import ArenaDescriptor, build_ops_from_view, stacked_ops_arrays
 from repro.exec.states import (
     _HierarchyHandle,
@@ -59,7 +61,7 @@ __all__ = [
 class GPAMachineTask:
     """One GPA machine's batch share: stacked ops + its store slice."""
 
-    __slots__ = ("alpha", "num_nodes", "all_hubs", "ops", "store")
+    __slots__ = ("alpha", "num_nodes", "all_hubs", "ops", "store", "kernels")
 
     def __init__(
         self,
@@ -68,12 +70,14 @@ class GPAMachineTask:
         all_hubs: np.ndarray,
         ops: tuple,
         store: Any,
+        kernels: KernelsLike = None,
     ) -> None:
         self.alpha = alpha
         self.num_nodes = int(num_nodes)
         self.all_hubs = all_hubs
         self.ops = ops  # (owned, part_csc, skel_csr, nnz_per_hub)
         self.store = store
+        self.kernels = kernels
 
     def dense(
         self, nodes: np.ndarray, collect_stats: bool
@@ -118,8 +122,10 @@ class GPAMachineTask:
             rows, pos = find_sorted(owned, nodes)
             weights = subtract_at(skel_csr[nodes], rows, pos[rows], self.alpha)
             # divide=True: the dense twin scales with `weights.T / alpha`.
-            acc = part_csc @ scaled_transpose_csc(weights, self.alpha, divide=True)
-            acc.sort_indices()
+            acc = spgemm_scaled(
+                part_csc, weights, self.alpha, divide=True,
+                kernels=self.kernels,
+            )
             if collect_stats:
                 entries[:] = weight_row_stats(weights, nnz_per_hub)[1]
         else:
@@ -139,14 +145,22 @@ class GPAMachineTask:
             if own is not None and collect_stats:
                 entries[k] += own.nnz
         if any(v is not None for v in own_vecs):
-            acc = acc + rows_matrix(own_vecs, self.num_nodes).T.tocsc()
+            acc = sparse_add(
+                acc,
+                rows_matrix(own_vecs, self.num_nodes).T.tocsc(),
+                kernels=self.kernels,
+            )
         if alpha_rows:
-            acc = acc + point_matrix(
-                np.asarray(alpha_rows),
-                np.asarray(alpha_cols),
-                np.full(len(alpha_rows), self.alpha),
-                acc.shape,
-                fmt="csc",
+            acc = sparse_add(
+                acc,
+                point_matrix(
+                    np.asarray(alpha_rows),
+                    np.asarray(alpha_cols),
+                    np.full(len(alpha_rows), self.alpha),
+                    acc.shape,
+                    fmt="csc",
+                ),
+                kernels=self.kernels,
             )
         return acc, entries, time.perf_counter() - t0
 
@@ -154,7 +168,9 @@ class GPAMachineTask:
 class HGPAMachineTask:
     """One HGPA machine's batch share: per-level ops + its store slice."""
 
-    __slots__ = ("alpha", "num_nodes", "hierarchy", "level_ops", "store")
+    __slots__ = (
+        "alpha", "num_nodes", "hierarchy", "level_ops", "store", "kernels"
+    )
 
     def __init__(
         self,
@@ -163,6 +179,7 @@ class HGPAMachineTask:
         hierarchy: Any,
         level_ops: Any,
         store: Any,
+        kernels: KernelsLike = None,
     ) -> None:
         self.alpha = alpha
         self.num_nodes = int(num_nodes)
@@ -170,6 +187,7 @@ class HGPAMachineTask:
         # sid -> (owned, part_csc, skel_csr, nnz_per_hub), owned levels only
         self.level_ops = level_ops
         self.store = store
+        self.kernels = kernels
 
     def dense(
         self, nodes: np.ndarray, collect_stats: bool
@@ -254,7 +272,9 @@ class HGPAMachineTask:
                 mine, pos = find_sorted(owned, qnodes[own_rows])
                 weights = subtract_at(raw, own_rows[mine], pos[mine], alpha)
             # divide=True: the dense twin scales with `weights.T / alpha`.
-            contrib = part_csc @ scaled_transpose_csc(weights, alpha, divide=True)
+            contrib = spgemm_scaled(
+                part_csc, weights, alpha, divide=True, kernels=self.kernels
+            )
             rest = np.nonzero(~own_arr)[0]
             if rest.size:
                 # Distributed port repair: zero this machine's level term
@@ -277,7 +297,9 @@ class HGPAMachineTask:
                 entries[order[lo:hi]] += weight_row_stats(
                     weights, nnz_per_hub
                 )[1]
-        acc = fold_depth_blocks(by_depth, ports, nodes.size, n)
+        acc = fold_depth_blocks(
+            by_depth, ports, nodes.size, n, kernels=self.kernels
+        )
         if acc is None:
             acc = sp.csc_matrix((n, nodes.size))
         own_vecs: list = [None] * nodes.size
@@ -295,14 +317,20 @@ class HGPAMachineTask:
             if own is not None and collect_stats:
                 entries[k] += own.nnz
         if any(v is not None for v in own_vecs):
-            acc = acc + rows_matrix(own_vecs, n).T.tocsc()
+            acc = sparse_add(
+                acc, rows_matrix(own_vecs, n).T.tocsc(), kernels=self.kernels
+            )
         if alpha_rows:
-            acc = acc + point_matrix(
-                np.asarray(alpha_rows),
-                np.asarray(alpha_cols),
-                np.full(len(alpha_rows), alpha),
-                acc.shape,
-                fmt="csc",
+            acc = sparse_add(
+                acc,
+                point_matrix(
+                    np.asarray(alpha_rows),
+                    np.asarray(alpha_cols),
+                    np.full(len(alpha_rows), alpha),
+                    acc.shape,
+                    fmt="csc",
+                ),
+                kernels=self.kernels,
             )
         return acc, entries, time.perf_counter() - t0
 
@@ -336,11 +364,18 @@ def gpa_machine_arrays(ops: tuple, all_hubs: np.ndarray, part_store: dict) -> di
 
 @dataclass(frozen=True)
 class GPAMachineBuilder:
-    """Picklable recipe for one GPA machine's worker-side task."""
+    """Picklable recipe for one GPA machine's worker-side task.
+
+    ``kernel_backend`` carries the kernel choice across the process
+    boundary as a plain backend *name* (bundles hold compiled callables
+    and never pickle); ``None`` lets the worker's own capability probe
+    decide.
+    """
 
     descriptor: ArenaDescriptor
     alpha: float
     num_nodes: int
+    kernel_backend: str | None = None
 
     def __call__(self) -> GPAMachineTask:
         view = self.descriptor.attach()
@@ -350,7 +385,8 @@ class GPAMachineBuilder:
         for u, vec in _packed_store(view, "own_").items():
             store[("part", u)] = vec
         return GPAMachineTask(
-            self.alpha, self.num_nodes, view.arrays["all_hubs"], ops, store
+            self.alpha, self.num_nodes, view.arrays["all_hubs"], ops, store,
+            kernels=self.kernel_backend,
         )
 
 
@@ -366,13 +402,18 @@ def hgpa_machine_arrays(level_ops: dict, leaf_store: dict) -> dict:
 
 @dataclass(frozen=True)
 class HGPAMachineBuilder:
-    """Picklable recipe for one HGPA machine's worker-side task."""
+    """Picklable recipe for one HGPA machine's worker-side task.
+
+    ``kernel_backend`` carries the kernel choice across the process
+    boundary as a plain backend *name* (see :class:`GPAMachineBuilder`).
+    """
 
     descriptor: ArenaDescriptor
     sids: tuple[int, ...]
     hierarchy: _HierarchyHandle
     alpha: float
     num_nodes: int
+    kernel_backend: str | None = None
 
     def __call__(self) -> HGPAMachineTask:
         view = self.descriptor.attach()
@@ -385,5 +426,6 @@ class HGPAMachineBuilder:
         for u, vec in _packed_store(view, "own_").items():
             store[("leaf", u)] = vec
         return HGPAMachineTask(
-            self.alpha, self.num_nodes, self.hierarchy, level_ops, store
+            self.alpha, self.num_nodes, self.hierarchy, level_ops, store,
+            kernels=self.kernel_backend,
         )

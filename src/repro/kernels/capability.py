@@ -1,0 +1,204 @@
+"""Capability detection for the fast-kernel dispatch seam.
+
+One cached :func:`probe` decides which kernel backend the process uses:
+
+* ``REPRO_KERNELS=auto`` (the default) picks ``numba`` when the JIT
+  compiles, else ``scipy``;
+* ``REPRO_KERNELS=scipy|numba|python`` forces a backend — forcing an
+  unavailable one silently downgrades to ``scipy`` with the reason
+  recorded in the report (never an exception: a missing accelerator
+  must not change program behaviour, only speed);
+* ``cupy`` is detected and reported for forward compatibility but no
+  kernel family is registered for it yet.
+
+The probe runs once per process (logged once); its
+:class:`KernelReport` is what benchmarks embed in their JSON output so
+every measured number is attributable to the backend that produced it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import logging
+import os
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = [
+    "Capability",
+    "KernelReport",
+    "probe",
+    "VALID_BACKENDS",
+    "ENV_VAR",
+]
+
+logger = logging.getLogger(__name__)
+
+ENV_VAR = "REPRO_KERNELS"
+
+#: Values accepted in ``REPRO_KERNELS`` (``python`` runs the njit-able
+#: kernel sources uncompiled — the numba path's logic without numba,
+#: used by the equivalence suite and never selected by ``auto``).
+VALID_BACKENDS = ("auto", "scipy", "numba", "python")
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One detected (or missing) accelerator."""
+
+    name: str
+    available: bool
+    version: str | None = None
+    reason: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "available": self.available,
+            "version": self.version,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """The probe's verdict: what was asked for, what runs, and why.
+
+    ``requested`` is the (normalised) ``REPRO_KERNELS`` value,
+    ``backend`` the backend actually dispatching, ``capabilities`` the
+    per-accelerator detection results, and ``notes`` every silent
+    downgrade's recorded reason.
+    """
+
+    requested: str
+    backend: str
+    capabilities: tuple[Capability, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    def capability(self, name: str) -> Capability | None:
+        for cap in self.capabilities:
+            if cap.name == name:
+                return cap
+        return None
+
+    def with_downgrade(self, backend: str, reason: str) -> "KernelReport":
+        return replace(
+            self, backend=backend, notes=self.notes + (reason,)
+        )
+
+    def retarget(self, backend: str) -> "KernelReport":
+        """The same report with ``backend`` switched (explicit requests
+        for an available backend — no downgrade note to record)."""
+        if backend == self.backend:
+            return self
+        return replace(self, backend=backend)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the ``kernel_report`` bench field)."""
+        return {
+            "requested": self.requested,
+            "backend": self.backend,
+            "capabilities": [c.as_dict() for c in self.capabilities],
+            "notes": list(self.notes),
+        }
+
+
+def _detect_numba() -> Capability:
+    """Import numba and smoke-compile a trivial function.
+
+    Never raises: any failure (missing package, broken toolchain, a
+    compile error) is recorded as the unavailability reason.
+    """
+    try:
+        import numba
+    except Exception as exc:  # pragma: no cover - depends on environment
+        return Capability("numba", False, reason=f"import failed: {exc}")
+    try:  # pragma: no cover - requires numba installed
+        probe_fn = numba.njit(cache=False)(_probe_source)
+        if probe_fn(20) != 21:
+            return Capability(
+                "numba",
+                False,
+                version=getattr(numba, "__version__", None),
+                reason="probe compile returned a wrong value",
+            )
+    except Exception as exc:  # pragma: no cover - depends on environment
+        return Capability(
+            "numba",
+            False,
+            version=getattr(numba, "__version__", None),
+            reason=f"probe compile failed: {exc}",
+        )
+    return Capability(  # pragma: no cover - requires numba installed
+        "numba", True, version=getattr(numba, "__version__", None)
+    )
+
+
+def _probe_source(x: int) -> int:
+    """The trivial function the numba probe compiles."""
+    return x + 1
+
+
+def _detect_cupy() -> Capability:
+    """Spec-only cupy detection (no import: importing without a GPU can
+    be slow or fatal).  Reported for forward compatibility; no kernel
+    family dispatches to it yet."""
+    try:
+        spec = importlib.util.find_spec("cupy")
+    except Exception as exc:  # pragma: no cover - defensive
+        return Capability("cupy", False, reason=f"detection failed: {exc}")
+    if spec is None:
+        return Capability("cupy", False, reason="not installed")
+    return Capability(  # pragma: no cover - requires cupy installed
+        "cupy", True, reason="detected; no kernel family registered yet"
+    )
+
+
+_REPORT: KernelReport | None = None
+
+
+def probe(*, refresh: bool = False) -> KernelReport:
+    """The process-wide capability report (cached; computed once).
+
+    ``refresh=True`` re-reads ``REPRO_KERNELS`` and re-detects
+    accelerators — only tests need it; index builds and query paths hit
+    the cache.
+    """
+    global _REPORT
+    if _REPORT is not None and not refresh:
+        return _REPORT
+    raw = os.environ.get(ENV_VAR, "auto").strip().lower()
+    requested = raw or "auto"
+    notes: tuple[str, ...] = ()
+    if requested not in VALID_BACKENDS:
+        notes += (
+            f"unknown {ENV_VAR}={requested!r}; falling back to auto",
+        )
+        requested = "auto"
+    capabilities = (_detect_numba(), _detect_cupy())
+    numba_cap = capabilities[0]
+    if requested in ("auto", "numba"):
+        if numba_cap.available:  # pragma: no cover - requires numba
+            backend = "numba"
+        else:
+            backend = "scipy"
+            if requested == "numba":
+                notes += (
+                    f"numba requested but unavailable "
+                    f"({numba_cap.reason}); using scipy",
+                )
+    else:
+        backend = requested
+    _REPORT = KernelReport(
+        requested=requested,
+        backend=backend,
+        capabilities=capabilities,
+        notes=notes,
+    )
+    logger.info(
+        "kernel probe: backend=%s requested=%s numba=%s",
+        _REPORT.backend,
+        _REPORT.requested,
+        "yes" if numba_cap.available else f"no ({numba_cap.reason})",
+    )
+    return _REPORT

@@ -1,0 +1,71 @@
+"""numba compilation of the kernel sources, with a warm-up smoke test.
+
+:func:`load` jits :mod:`repro.kernels.pykernels` through ``numba.njit``
+(``fastmath`` stays off — exactness is the contract) and runs every
+kernel once on tiny inputs so compile errors surface here, not on the
+query path.  Any failure returns ``(None, reason)`` and the dispatcher
+downgrades to scipy; nothing raises.  The result is cached per process
+— compilation happens at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["load"]
+
+_LOADED: tuple[dict[str, Callable[..., Any]] | None, str | None] | None = None
+
+
+def load() -> tuple[dict[str, Callable[..., Any]] | None, str | None]:
+    """``(kernel_table, None)`` or ``(None, downgrade_reason)``, cached."""
+    global _LOADED
+    if _LOADED is None:
+        _LOADED = _load()
+    return _LOADED
+
+
+def _load() -> tuple[dict[str, Callable[..., Any]] | None, str | None]:
+    try:
+        import numba
+    except Exception as exc:  # pragma: no cover - depends on environment
+        return None, f"numba import failed: {exc}"
+    try:  # pragma: no cover - requires numba installed
+        from repro.kernels.pykernels import build_kernels
+
+        table = build_kernels(numba.njit(cache=False))
+        _warm(table)
+    except Exception as exc:  # pragma: no cover - requires numba installed
+        return None, f"numba kernel compile failed: {exc}"
+    return table, None  # pragma: no cover - requires numba installed
+
+
+def _warm(table: dict[str, Callable[..., Any]]) -> None:  # pragma: no cover
+    """Force one compilation of every kernel at its production signature
+    (int64 index arrays, float64 data) on inputs tiny enough to be free."""
+    iptr = np.asarray([0, 1], dtype=np.int64)
+    idx = np.asarray([0], dtype=np.int64)
+    val = np.asarray([0.5], dtype=np.float64)
+    table["topk_dense"](np.zeros((1, 2), dtype=np.float64), 1)
+    table["topk_sparse"](iptr, idx, val, 2, 1)
+    table["spgemm_csc"](iptr, idx, val, iptr, idx, val, 1, 1)
+    table["cs_add"](iptr, idx, val, iptr, idx, val)
+    x, iters = table["power_solve"](
+        iptr.copy(), idx, val, np.asarray([1.0]), 0.15, 0.5, 5
+    )
+    if iters < 0 or x.shape[0] != 1:
+        raise RuntimeError("power_solve warm-up diverged")
+    d, _, ok = table["percol_solve"](
+        np.asarray([0, 0], dtype=np.int64),
+        idx,
+        val,
+        np.asarray([True]),
+        np.asarray([0], dtype=np.int64),
+        0.15,
+        0.5,
+        5,
+    )
+    if not ok or d.shape != (1, 1):
+        raise RuntimeError("percol_solve warm-up diverged")

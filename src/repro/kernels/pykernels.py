@@ -1,0 +1,429 @@
+"""Kernel sources: njit-able hot loops, one per dispatch operation.
+
+:func:`build_kernels` builds the whole kernel table through a ``jit``
+decorator — ``numba.njit`` for the compiled backend, the identity for
+the pure-``python`` backend the equivalence suite runs without numba.
+Every function below therefore sticks to the numba-nopython subset:
+numpy arrays and scalars only, no Python objects, helpers referenced by
+closure so the compiled callers bind the compiled helpers.
+
+Exactness is the whole contract (see ``repro/core/sparse_ops.py``):
+each kernel replays its scipy/numpy twin's accumulation order
+term-by-term, so dense results are bitwise-equal and sparse results
+equal on ``toarray()``.  The specific order replayed is documented per
+kernel; the fuzz suite in ``tests/test_kernels.py`` asserts it.
+
+Array calling convention: index arrays are ``int64``, value arrays
+``float64`` (wrappers in the call-site modules cast); compressed
+matrices arrive as raw ``(indptr, indices, data)`` triples so the same
+source compiles for CSR and CSC majors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+__all__ = ["build_kernels", "KERNEL_OPS"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Operation names, in the order the dispatch table lists them.
+KERNEL_OPS = (
+    "topk_dense",
+    "topk_sparse",
+    "spgemm_csc",
+    "cs_add",
+    "power_solve",
+    "percol_solve",
+)
+
+
+def build_kernels(jit: Callable[[F], F]) -> dict[str, Callable[..., Any]]:
+    """Build the kernel table through ``jit`` (identity or ``numba.njit``)."""
+
+    # ----- bounded-heap top-k selection --------------------------------
+    # The heap is a min-heap under the "worse" order: entry a is worse
+    # than entry b iff a's score is smaller, or the scores tie and a's id
+    # is larger — so the root is always the entry the contract would
+    # evict first, and the surviving k are exactly the (score desc,
+    # id asc) best, ids unique per row making the order strict (the
+    # selection is feed-order independent).
+
+    @jit
+    def _sift(hs: np.ndarray, hi: np.ndarray, pos: int, size: int) -> None:
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                return
+            right = child + 1
+            if right < size and (
+                hs[right] < hs[child]
+                or (hs[right] == hs[child] and hi[right] > hi[child])
+            ):
+                child = right
+            if hs[child] < hs[pos] or (
+                hs[child] == hs[pos] and hi[child] > hi[pos]
+            ):
+                hs[pos], hs[child] = hs[child], hs[pos]
+                hi[pos], hi[child] = hi[child], hi[pos]
+                pos = child
+            else:
+                return
+
+    @jit
+    def _offer(
+        hs: np.ndarray, hi: np.ndarray, size: int, k: int, v: float, j: int
+    ) -> int:
+        if size < k:
+            hs[size] = v
+            hi[size] = j
+            size += 1
+            if size == k:
+                for pos in range(k // 2 - 1, -1, -1):
+                    _sift(hs, hi, pos, k)
+        elif hs[0] < v or (hs[0] == v and hi[0] > j):
+            hs[0] = v
+            hi[0] = j
+            _sift(hs, hi, 0, k)
+        return size
+
+    @jit
+    def _drain(
+        hs: np.ndarray,
+        hi: np.ndarray,
+        k: int,
+        ids: np.ndarray,
+        scores: np.ndarray,
+        r: int,
+    ) -> None:
+        # Pop worst-first, filling the output back to front: best first,
+        # ties by smaller id — the metrics.top_k_nodes contract order.
+        size = k
+        for out in range(k - 1, -1, -1):
+            ids[r, out] = hi[0]
+            scores[r, out] = hs[0]
+            size -= 1
+            hs[0] = hs[size]
+            hi[0] = hi[size]
+            _sift(hs, hi, 0, size)
+
+    @jit
+    def topk_dense(
+        dense: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row top-k of a dense ``(rows, n)`` chunk; needs ``0 < k <= n``.
+
+        Scores are selected values, never arithmetic, so they are
+        bitwise the baseline's; ids ascend through each row so the heap
+        sees candidates in the same id order the oracle sorts by.
+        """
+        rows, n = dense.shape
+        ids = np.empty((rows, k), dtype=np.int64)
+        scores = np.empty((rows, k), dtype=np.float64)
+        hs = np.empty(k, dtype=np.float64)
+        hi = np.empty(k, dtype=np.int64)
+        for r in range(rows):
+            size = 0
+            for j in range(n):
+                size = _offer(hs, hi, size, k, dense[r, j], j)
+            _drain(hs, hi, k, ids, scores, r)
+        return ids, scores
+
+    @jit
+    def topk_sparse(
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        n: int,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row top-k of a canonical CSR; needs ``0 < k <= n``.
+
+        Mirrors ``topk_rows_sparse``'s candidate set exactly: a row's
+        stored entries plus its first ``k`` absent ids below
+        ``min(n, nnz + k)`` as explicit zeros (any later absent id loses
+        every tie to those k).  That pool always holds >= k candidates,
+        so the heap fills.
+        """
+        rows = indptr.shape[0] - 1
+        ids = np.empty((rows, k), dtype=np.int64)
+        scores = np.empty((rows, k), dtype=np.float64)
+        hs = np.empty(k, dtype=np.float64)
+        hi = np.empty(k, dtype=np.int64)
+        for r in range(rows):
+            lo = indptr[r]
+            hi_p = indptr[r + 1]
+            limit = hi_p - lo + k
+            if n < limit:
+                limit = n
+            size = 0
+            for p in range(lo, hi_p):
+                size = _offer(hs, hi, size, k, data[p], indices[p])
+            p = lo
+            miss = 0
+            expect = 0
+            while expect < limit and miss < k:
+                if p < hi_p and indices[p] == expect:
+                    p += 1
+                else:
+                    size = _offer(hs, hi, size, k, 0.0, expect)
+                    miss += 1
+                expect += 1
+            _drain(hs, hi, k, ids, scores, r)
+        return ids, scores
+
+    @jit
+    def spgemm_csc(
+        ap: np.ndarray,
+        ai: np.ndarray,
+        ax: np.ndarray,
+        bp: np.ndarray,
+        bi: np.ndarray,
+        bx: np.ndarray,
+        n_rows: int,
+        n_cols: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSC @ CSC product with sorted output indices.
+
+        Replays scipy's SMMP accumulation exactly: per output column
+        ``j``, B's stored entries ``(kk, bval)`` are walked in stored
+        (ascending-``kk``) order and each scatters ``bval * a_val`` over
+        A's column ``kk`` — so every output entry sums its terms in the
+        same sequence as both ``A @ B`` and the dense twin
+        ``A @ dense``, starting from the same ``0.0``.  scipy emits the
+        indices unsorted and callers canonicalize; here each column is
+        emitted sorted directly.
+        """
+        indptr = np.zeros(n_cols + 1, dtype=np.int64)
+        mark = np.full(n_rows, -1, dtype=np.int64)
+        for j in range(n_cols):
+            count = 0
+            for pb in range(bp[j], bp[j + 1]):
+                kk = bi[pb]
+                for pa in range(ap[kk], ap[kk + 1]):
+                    r = ai[pa]
+                    if mark[r] != j:
+                        mark[r] = j
+                        count += 1
+            indptr[j + 1] = indptr[j] + count
+        nnz = indptr[n_cols]
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        acc = np.zeros(n_rows, dtype=np.float64)
+        touched = np.empty(n_rows, dtype=np.int64)
+        mark[:] = -1
+        for j in range(n_cols):
+            tcount = 0
+            for pb in range(bp[j], bp[j + 1]):
+                kk = bi[pb]
+                bval = bx[pb]
+                for pa in range(ap[kk], ap[kk + 1]):
+                    r = ai[pa]
+                    v = bval * ax[pa]
+                    if mark[r] != j:
+                        mark[r] = j
+                        acc[r] = 0.0 + v  # scipy's workspace starts at 0
+                        touched[tcount] = r
+                        tcount += 1
+                    else:
+                        acc[r] += v
+            rows_sorted = np.sort(touched[:tcount])
+            base = indptr[j]
+            for t in range(tcount):
+                rr = rows_sorted[t]
+                indices[base + t] = rr
+                data[base + t] = acc[rr]
+        return indptr, indices, data
+
+    @jit
+    def cs_add(
+        ap: np.ndarray,
+        ai: np.ndarray,
+        ax: np.ndarray,
+        bp: np.ndarray,
+        bi: np.ndarray,
+        bx: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical compressed-sparse ``a + b`` (either major order).
+
+        The sorted two-pointer merge scipy's canonical ``csr_plus_csr``
+        runs: shared coordinates get the single ``a + b`` addition in
+        operand order, one-sided coordinates copy through, and exact-zero
+        results are dropped — value-identical to the dense ``+=`` twin
+        either way, since a dropped zero and an implicit zero read back
+        equal.
+        """
+        n_major = ap.shape[0] - 1
+        nnz_max = ax.shape[0] + bx.shape[0]
+        indptr = np.zeros(n_major + 1, dtype=np.int64)
+        indices = np.empty(nnz_max, dtype=np.int64)
+        data = np.empty(nnz_max, dtype=np.float64)
+        pos = 0
+        for j in range(n_major):
+            pa = ap[j]
+            ea = ap[j + 1]
+            pb = bp[j]
+            eb = bp[j + 1]
+            while pa < ea and pb < eb:
+                ia = ai[pa]
+                ib = bi[pb]
+                if ia == ib:
+                    v = ax[pa] + bx[pb]
+                    pa += 1
+                    pb += 1
+                elif ia < ib:
+                    v = ax[pa]
+                    ib = ia
+                    pa += 1
+                else:
+                    v = bx[pb]
+                    pb += 1
+                if v != 0.0:
+                    indices[pos] = ib
+                    data[pos] = v
+                    pos += 1
+            while pa < ea:
+                if ax[pa] != 0.0:
+                    indices[pos] = ai[pa]
+                    data[pos] = ax[pa]
+                    pos += 1
+                pa += 1
+            while pb < eb:
+                if bx[pb] != 0.0:
+                    indices[pos] = bi[pb]
+                    data[pos] = bx[pb]
+                    pos += 1
+                pb += 1
+            indptr[j + 1] = pos
+        return indptr, indices[:pos].copy(), data[:pos].copy()
+
+    @jit
+    def power_solve(
+        wp: np.ndarray,
+        wi: np.ndarray,
+        wx: np.ndarray,
+        u: np.ndarray,
+        alpha: float,
+        tol: float,
+        max_iter: int,
+    ) -> tuple[np.ndarray, int]:
+        """Fused power iteration ``x <- (1-a)*(Wt @ x) + a*u``.
+
+        Replays the numpy loop bitwise: each row's mat-vec sum runs over
+        the CSR's stored entries in stored order from 0.0 (scipy's
+        ``csr_matvec``), then ``(1-a)*s + a*u[i]`` applies the same two
+        multiplies and one add per element, and the convergence test is
+        the identical ``max |nxt - x| <= tol`` — so the returned vector
+        *and* the iteration count match the baseline exactly.  Returns
+        ``(x, iterations)``; ``-1`` iterations means no convergence.
+        """
+        n = u.shape[0]
+        omalpha = 1.0 - alpha
+        x = u.copy()
+        nxt = np.empty(n, dtype=np.float64)
+        for it in range(max_iter):
+            delta = 0.0
+            for i in range(n):
+                s = 0.0
+                for p in range(wp[i], wp[i + 1]):
+                    s += wx[p] * x[wi[p]]
+                v = omalpha * s + alpha * u[i]
+                diff = v - x[i]
+                if diff < 0.0:
+                    diff = -diff
+                if diff > delta:
+                    delta = diff
+                nxt[i] = v
+            tmp = x
+            x = nxt
+            nxt = tmp
+            if delta <= tol:
+                return x, it
+        return x, -1
+
+    @jit
+    def percol_solve(
+        wp: np.ndarray,
+        wi: np.ndarray,
+        wx: np.ndarray,
+        expandable: np.ndarray,
+        sources: np.ndarray,
+        alpha: float,
+        tol: float,
+        max_iter: int,
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Per-column-convergent selective expansion (``partial_vectors``).
+
+        Column independence is what the baseline's ``per_column`` mode
+        guarantees, so each source is solved on its own here — replaying
+        the batched numpy branch bitwise per column: the step-0 one-hot
+        mat-vec runs each row's stored entries in stored order (scipy
+        ``csr_matvecs`` is column-independent, and the skipped terms are
+        exact ``+0.0``); every round masks, checks ``max <= tol``
+        *before* updating, then applies ``d += a*expand`` /
+        ``e = masked + (1-a)*(Wt @ expand)`` with the same elementwise
+        operation order; the final ``d += a*e`` deposit is applied per
+        converged column.  Returns ``(d, e, ok)``; ``ok`` False means
+        some column hit ``max_iter``.
+        """
+        n = expandable.shape[0]
+        num = sources.shape[0]
+        d = np.zeros((n, num), dtype=np.float64)
+        e = np.zeros((n, num), dtype=np.float64)
+        omalpha = 1.0 - alpha
+        x = np.empty(n, dtype=np.float64)
+        y = np.empty(n, dtype=np.float64)
+        dcol = np.empty(n, dtype=np.float64)
+        ecol = np.empty(n, dtype=np.float64)
+        ok = True
+        for j in range(num):
+            src = sources[j]
+            for i in range(n):
+                dcol[i] = 0.0
+                x[i] = 0.0
+            dcol[src] = alpha
+            x[src] = 1.0
+            for i in range(n):
+                s = 0.0
+                for p in range(wp[i], wp[i + 1]):
+                    s += wx[p] * x[wi[p]]
+                ecol[i] = omalpha * s
+            converged = False
+            for _ in range(max_iter):
+                mx = -np.inf
+                for i in range(n):
+                    v = ecol[i] if expandable[i] else 0.0
+                    x[i] = v
+                    if v > mx:
+                        mx = v
+                if mx <= tol:
+                    converged = True
+                    break
+                for i in range(n):
+                    dcol[i] = dcol[i] + alpha * x[i]
+                for i in range(n):
+                    s = 0.0
+                    for p in range(wp[i], wp[i + 1]):
+                        s += wx[p] * x[wi[p]]
+                    y[i] = s
+                for i in range(n):
+                    base = 0.0 if expandable[i] else ecol[i]
+                    ecol[i] = base + omalpha * y[i]
+            if not converged:
+                ok = False
+                break
+            for i in range(n):
+                d[i, j] = dcol[i] + alpha * ecol[i]
+                e[i, j] = ecol[i]
+        return d, e, ok
+
+    return {
+        "topk_dense": topk_dense,
+        "topk_sparse": topk_sparse,
+        "spgemm_csc": spgemm_csc,
+        "cs_add": cs_add,
+        "power_solve": power_solve,
+        "percol_solve": percol_solve,
+    }

@@ -141,7 +141,13 @@ class QueryBackend:
             return native(nodes, k, batch=batch, threshold=threshold)
         nodes = validate_batch(nodes, self.num_nodes)
         return topk_in_batches(
-            self.engine.query_many, nodes, k, self.num_nodes, batch, threshold
+            self.engine.query_many,
+            nodes,
+            k,
+            self.num_nodes,
+            batch,
+            threshold,
+            kernels=getattr(self.engine, "kernels", None),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -32,6 +32,7 @@ from repro.core.sparse_ops import row_sparsevec, rows_matrix, topk_rows_sparse
 from repro.core.sparsevec import SparseVec
 from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.errors import ServingError
+from repro.kernels.dispatch import KernelsLike
 from repro.serving.adapters import as_backend
 from repro.serving.cache import PPVCache
 
@@ -158,6 +159,7 @@ class PPVService:
         clock: Any = None,
         sparse: bool = False,
         collect_stats: bool = True,
+        kernels: KernelsLike = None,
     ) -> None:
         if window < 0:
             raise ServingError(f"window must be >= 0, got {window}")
@@ -179,6 +181,10 @@ class PPVService:
         # then falls back to the backend's batch-level epoch (identical
         # unless a staggered rollout serves mixed epochs mid-flight).
         self.collect_stats = bool(collect_stats)
+        #: Kernel bundle / backend name the frontend's own top-k
+        #: reductions dispatch to (``None`` = the process default); the
+        #: wrapped engine keeps whatever ``kernels=`` it was built with.
+        self.kernels: KernelsLike = kernels
         self.stats = ServiceStats()
         self._pending: list[Ticket] = []
         self._deadline: float | None = None
@@ -372,9 +378,12 @@ class PPVService:
                 rows_matrix([vec], self.backend.num_nodes),
                 k,
                 threshold=threshold,
+                kernels=self.kernels,
             )
         else:
-            ids, scores = topk_rows(vec[np.newaxis], k, threshold=threshold)
+            ids, scores = topk_rows(
+                vec[np.newaxis], k, threshold=threshold, kernels=self.kernels
+            )
         return ids[0], scores[0]
 
     def serve(

@@ -37,6 +37,7 @@ from repro.core.flat_index import DEFAULT_BATCH, validate_batch
 from repro.core.updates import EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
 from repro.errors import QueryError, ShardingError
+from repro.kernels.dispatch import KernelsLike
 from repro.serving.adapters import QueryBackend
 from repro.serving.cache import CacheStats, PPVCache
 from repro.serving.service import SystemClock
@@ -125,6 +126,7 @@ class ShardRouter(QueryBackend):
         cache_weight: Callable[..., float] | None = None,
         clock: Any = None,
         backend: ExecutionBackend | None = None,
+        kernels: KernelsLike = None,
     ) -> None:
         if not shard_engines:
             raise ShardingError("need at least one shard")
@@ -135,6 +137,10 @@ class ShardRouter(QueryBackend):
         # then finish in order) runs shard replicas concurrently in
         # worker processes; the default None serves inline as before.
         self.exec_backend = backend
+        #: Kernel bundle / backend name every shard's top-k reduction
+        #: dispatches to (``None`` = the process default) — one switch
+        #: flips the whole fleet.
+        self.kernels: KernelsLike = kernels
         self.shards: list[Shard] = []
         for sid, group in enumerate(shard_engines):
             if not isinstance(group, (list, tuple)):
@@ -152,6 +158,7 @@ class ShardRouter(QueryBackend):
                     meter=self.meter,
                     clock=self.clock,
                     backend=backend,
+                    kernels=kernels,
                 )
             )
         sizes = {shard.num_nodes for shard in self.shards}

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.flat_index import DEFAULT_BATCH, topk_in_batches, validate_batch
 from repro.core.sparse_ops import row_sparsevec, rows_matrix
 from repro.core.sparsevec import WIRE_ENTRY_BYTES, WIRE_HEADER_BYTES, SparseVec
+from repro.kernels.dispatch import KernelsLike
 from repro.core.updates import UPDATE_WIRE_BYTES, EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
 from repro.errors import ShardingError, WorkerDied
@@ -92,6 +93,7 @@ class Shard:
         meter: NetworkMeter | None = None,
         clock: Any = None,
         backend: ExecutionBackend | None = None,
+        kernels: KernelsLike = None,
     ) -> None:
         if not replicas:
             raise ShardingError(f"shard {shard_id} needs at least one replica")
@@ -116,6 +118,9 @@ class Shard:
         # an ExecutionBackend offloads replica compute, with WorkerDied
         # triggering mark_down failover to a sibling replica.
         self.exec_backend = backend
+        #: Kernel bundle / backend name the shard's top-k reduction
+        #: dispatches to (``None`` = the process default).
+        self.kernels: KernelsLike = kernels
         self.queries = 0  # rows served, cached or computed
         self.batches = 0
         self._held: set[int] | None = None
@@ -443,7 +448,8 @@ class Shard:
         )
         serve = self._serve_sparse if sparse else self._serve_dense
         ids, scores, infos = topk_in_batches(
-            serve, nodes, k, self.num_nodes, batch, threshold
+            serve, nodes, k, self.num_nodes, batch, threshold,
+            kernels=self.kernels,
         )
         self.batches += 1
         self.meter.record(

@@ -123,6 +123,23 @@ class TestFixtures:
         assert result.findings == []
         assert result.errors and "syntax error" in result.errors[0]
 
+    def test_kernels_segment_in_scope(self):
+        """The fast-kernel package is guarded by the determinism and
+        accumulation-order rules — a hash-ordered loop in kernel code
+        would break the bitwise replay contract silently."""
+        for rule_id in ("RPR001", "RPR004"):
+            rule = next(r for r in ALL_RULES if r.rule_id == rule_id)
+            assert "kernels" in rule.segments, rule_id
+        source = (
+            "def scatter(touched: set, acc):\n"
+            "    total = 0.0\n"
+            "    for col in touched:\n"
+            "        total += acc[col]\n"
+            "    return total\n"
+        )
+        findings = analyze_source(source, "kernels/mod.py").findings
+        assert {f.rule for f in findings} == {"RPR001", "RPR004"}
+
 
 class TestBaseline:
     SOURCE = "def f(s: set):\n    return list(s)\n"
