@@ -8,6 +8,7 @@ from repro.analysis.rules.boundaries import BoundaryErrorsRule
 from repro.analysis.rules.buffers import SharedBufferMutationRule
 from repro.analysis.rules.determinism import NondeterministicIterationRule
 from repro.analysis.rules.metering import UnmeteredCommunicationRule
+from repro.analysis.rules.retries import RetryDisciplineRule
 from repro.errors import AnalysisError
 
 __all__ = [
@@ -23,6 +24,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SharedBufferMutationRule(),
     FloatAccumulationOrderRule(),
     BoundaryErrorsRule(),
+    RetryDisciplineRule(),
 )
 
 

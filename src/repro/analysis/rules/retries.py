@@ -1,0 +1,179 @@
+"""RPR006 — retry/timeout discipline in the fault-handling tier.
+
+The resilience contract (:mod:`repro.sharding.resilience`) has two
+load-bearing rules that are easy to erode silently:
+
+- a *bounded* retry loop that swallows the failure and continues must
+  re-raise the last error when the attempts run out — otherwise
+  exhaustion falls through the loop and the caller sees a partial or
+  missing answer with no exception (the chaos suite's "silently wrong"
+  failure mode).  ``while True:`` loops are exempt: they cannot exhaust,
+  so the swallowed error is always retried.
+- backoff/hedge waits in ``faults/``/``sharding/`` must be *charged* to
+  the injected clock (:func:`~repro.sharding.resilience.charge_wait`),
+  never slept: ``time.sleep`` both blocks the serving thread and
+  desynchronises the wait from the :class:`~repro.serving.service.
+  SimulatedClock` that fault schedules, timed recoveries and breaker
+  cool-offs replay against.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.inference import dotted_name, iter_scope_nodes
+from repro.analysis.rules.base import ModuleContext, Rule
+
+__all__ = ["RetryDisciplineRule"]
+
+_SCOPE_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _is_infinite(loop: ast.For | ast.While) -> bool:
+    """``while True:`` (or any constant-true test) cannot exhaust."""
+    return (
+        isinstance(loop, ast.While)
+        and isinstance(loop.test, ast.Constant)
+        and bool(loop.test.value)
+    )
+
+
+def _contains_raise(nodes: list[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, _SCOPE_DEFS):
+                continue
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+def _swallowing_handlers(loop: ast.For | ast.While) -> Iterator[ast.ExceptHandler]:
+    """Handlers directly under ``loop`` that eat the error and continue.
+
+    A handler "swallows" when its body ends in ``continue`` (retry) and
+    never raises — a handler that conditionally re-raises handles
+    exhaustion itself and is compliant.  Nested loops and function defs
+    are not descended into: their handlers target a different loop and
+    are audited on their own.
+    """
+
+    def scan(body: list[ast.stmt]) -> Iterator[ast.ExceptHandler]:
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.While, *_SCOPE_DEFS)):
+                continue
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    if (
+                        handler.body
+                        and isinstance(handler.body[-1], ast.Continue)
+                        and not _contains_raise(handler.body)
+                    ):
+                        yield handler
+                yield from scan(stmt.body)
+                yield from scan(stmt.orelse)
+                yield from scan(stmt.finalbody)
+            else:
+                for field in ("body", "orelse"):
+                    yield from scan(getattr(stmt, field, []) or [])
+
+    yield from scan(loop.body)
+
+
+class RetryDisciplineRule(Rule):
+    rule_id = "RPR006"
+    title = "retry/timeout discipline"
+    hint = (
+        "bounded retry loops must re-raise the last error after the "
+        "loop (or in its else:) when attempts run out; charge waits to "
+        "the injected clock via charge_wait(clock, seconds), never "
+        "time.sleep"
+    )
+    segments = ("faults", "sharding")
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        sleep_is_time = self._time_sleep_imported(ctx.tree)
+        for scope, _chain in ctx.scopes():
+            # scopes() yields the module and every (nested) function
+            # exactly once, and neither walker below descends into
+            # nested defs — each sleep/loop is audited in one scope.
+            findings.extend(self._check_sleeps(ctx, scope, sleep_is_time))
+            findings.extend(self._check_blocks(ctx, self._scope_body(scope)))
+        return findings
+
+    @staticmethod
+    def _time_sleep_imported(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                if any(alias.name == "sleep" for alias in node.names):
+                    return True
+        return False
+
+    @staticmethod
+    def _scope_body(scope: ast.AST) -> list[ast.stmt]:
+        return list(getattr(scope, "body", []))
+
+    def _check_sleeps(
+        self, ctx: ModuleContext, scope: ast.AST, sleep_is_time: bool
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in iter_scope_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "time.sleep" or (sleep_is_time and name == "sleep"):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "time.sleep in the fault-handling tier blocks the "
+                        "serving thread and bypasses the injected clock",
+                        hint="charge the wait instead: charge_wait(clock, "
+                        "seconds) advances a SimulatedClock so fault "
+                        "schedules and breaker cool-offs replay exactly",
+                    )
+                )
+        return findings
+
+    def _check_blocks(
+        self, ctx: ModuleContext, body: list[ast.stmt]
+    ) -> list[Finding]:
+        """Audit one statement list, recursing into compound statements
+        (but not nested scopes, which are audited separately)."""
+        findings: list[Finding] = []
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, _SCOPE_DEFS):
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                findings.extend(self._check_loop(ctx, stmt, body[i + 1 :]))
+            for field in ("body", "orelse", "finalbody"):
+                findings.extend(
+                    self._check_blocks(ctx, list(getattr(stmt, field, []) or []))
+                )
+            for handler in getattr(stmt, "handlers", []) or []:
+                findings.extend(self._check_blocks(ctx, handler.body))
+        return findings
+
+    def _check_loop(
+        self, ctx: ModuleContext, loop: ast.For | ast.While, tail: list[ast.stmt]
+    ) -> list[Finding]:
+        handlers = list(_swallowing_handlers(loop))
+        if not handlers or _is_infinite(loop):
+            return []
+        if _contains_raise(loop.orelse) or _contains_raise(tail):
+            return []  # exhaustion is surfaced after the loop
+        caught = ", ".join(
+            ast.unparse(h.type) if h.type is not None else "everything"
+            for h in handlers
+        )
+        return [
+            ctx.finding(
+                self,
+                loop,
+                f"bounded retry loop swallows {caught} and falls through "
+                "on exhaustion without re-raising the last error",
+            )
+        ]

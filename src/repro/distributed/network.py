@@ -10,6 +10,7 @@ hundred M float-ops/s and the paper's 100 Mb/s switch.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 __all__ = ["CostModel", "NetworkMeter", "DEFAULT_COST_MODEL"]
@@ -52,11 +53,23 @@ DEFAULT_COST_MODEL = CostModel()
 
 @dataclass
 class NetworkMeter:
-    """Accumulates wire traffic, by (sender, receiver) pair."""
+    """Accumulates wire traffic, by (sender, receiver) pair.
+
+    ``on_record`` is the fault-injection seam: when set (by a
+    :class:`~repro.faults.injector.FaultInjector`), every recorded
+    message is offered to the hook *after* its bytes are charged — a
+    payload lost or corrupted in flight still crossed the wire, and its
+    retransmission is charged again, exactly like a real retransmit.
+    The hook signals the fault by raising (:class:`~repro.errors.
+    LinkDropped` / :class:`~repro.errors.PayloadTruncated`).
+    """
 
     total_bytes: int = 0
     total_messages: int = 0
     by_link: dict[tuple[str, str], int] = field(default_factory=dict)
+    on_record: Callable[[str, str, int], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(self, sender: str, receiver: str, num_bytes: int) -> None:
         """Account one message of ``num_bytes`` from sender to receiver."""
@@ -64,6 +77,8 @@ class NetworkMeter:
         self.total_messages += 1
         key = (sender, receiver)
         self.by_link[key] = self.by_link.get(key, 0) + int(num_bytes)
+        if self.on_record is not None:
+            self.on_record(sender, receiver, int(num_bytes))
 
     def reset(self) -> None:
         self.total_bytes = 0

@@ -51,9 +51,38 @@ class ExecutionError(ReproError):
     crashed worker task, or an unroutable submission."""
 
 
-class WorkerDied(ExecutionError):
+class TransientFault(ReproError):
+    """Base class for momentary serving faults that a resilient caller
+    may retry: a dropped or corrupted wire payload, a flaky worker.
+
+    Terminal conditions (:class:`ReplicaUnavailable` — nobody left to
+    retry against) deliberately do *not* derive from this class."""
+
+
+class WorkerDied(ExecutionError, TransientFault):
     """Raised when a worker process died with work outstanding; callers
     with replicas (the sharding layer) treat it as a failover signal."""
+
+
+class LinkDropped(TransientFault):
+    """Raised when a simulated wire payload is lost in flight; the bytes
+    were charged to the meter (they hit the wire) but never arrived."""
+
+
+class PayloadTruncated(TransientFault):
+    """Raised when a simulated wire payload arrives truncated or
+    corrupted — always *detected* (checksummed transport), never decoded
+    into a silently-wrong answer."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """Raised when a request's per-attempt deadline elapsed before the
+    serving replica answered (also a :class:`TimeoutError`)."""
+
+
+class FaultPlanError(ReproError):
+    """Raised for malformed fault schedules (negative times, unknown
+    event kinds, targets outside the attached deployment)."""
 
 
 class AnalysisError(ReproError):
@@ -68,3 +97,16 @@ class ServingError(ReproError):
 class ShardingError(ServingError):
     """Raised for invalid shard-router configurations or unroutable
     requests (e.g. every replica of a shard marked down)."""
+
+
+class ReplicaUnavailable(ShardingError):
+    """Raised when no healthy replica can answer for a shard: every
+    replica marked down, or bounded retries exhausted against transient
+    faults.  The router's graceful-degradation mode converts this into
+    explicitly-marked degraded/shed rows instead of raising."""
+
+
+class DegradedResult(ServingError):
+    """Raised when reading the result of a request the service *shed* —
+    the partition was unavailable and no stale row could stand in.  Shed
+    responses are always explicit; they never masquerade as answers."""

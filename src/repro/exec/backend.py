@@ -52,9 +52,17 @@ class ExecutionBackend:
     ``is_local`` tells callers whether builders may be plain in-process
     closures (serial) or must be picklable shared-state builders
     (process pool); layers use it to pick which builder to register.
+
+    ``fault_hook`` is the fault-injection seam: when set (by a
+    :class:`~repro.faults.injector.FaultInjector`), every ``submit`` is
+    offered to the hook first, which may raise
+    :class:`~repro.errors.WorkerDied` to simulate a worker death at the
+    seam — exercising the exact failover path a real dead worker takes,
+    deterministically.
     """
 
     is_local = True
+    fault_hook: Callable[[Hashable, str], None] | None = None
 
     def register(self, key: Hashable, builder: Callable[[], Any]) -> None:
         raise NotImplementedError
@@ -125,6 +133,8 @@ class SerialBackend(ExecutionBackend):
         self._states.pop(key, None)
 
     def submit(self, key: Hashable, method: str, *args: Any) -> _ReadyFuture:
+        if self.fault_hook is not None:
+            self.fault_hook(key, method)
         state = self._states.get(key)
         if state is None:
             builder = self._builders.get(key)
@@ -344,6 +354,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 pass
 
     def submit(self, key: Hashable, method: str, *args: Any) -> _ProcFuture:
+        if self.fault_hook is not None:
+            self.fault_hook(key, method)
         worker = self._assignment.get(key)
         if worker is None:
             raise ExecutionError(f"no state registered for key {key!r}")

@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the serving stack.
+
+The distributed runtimes and the shard tier carry the seams real
+deployments need — ``mark_down``/timed recovery, ``WorkerDied``
+failover, an injected clock — but seams that are never *exercised* rot.
+This package drives them systematically:
+
+* :class:`FaultPlan` — a seeded, fully explicit schedule of fault
+  events: replica crashes and recoveries, worker deaths, per-replica
+  latency spikes (stragglers), dropped and truncated wire payloads.
+  ``FaultPlan.generate(seed, ...)`` draws a random schedule from a
+  ``random.Random(seed)`` — the same seed always yields the same plan —
+  and can guarantee every shard keeps at least one healthy replica
+  (``keep_quorum``), the precondition of the exactness contract.
+* :class:`FaultInjector` — attaches a plan to a
+  :class:`~repro.sharding.router.ShardRouter` through three small
+  hooks (replica serve probes, the :class:`~repro.distributed.network.
+  NetworkMeter` record hook, the execution backend's submit hook) and
+  fires events as the router's clock passes them.  Everything is driven
+  by the injected clock, never wall time, so a chaos run replays
+  bit-for-bit from its seed.
+
+The headline contract the chaos suite enforces on top: under *any*
+plan that leaves one healthy replica per shard, every non-degraded
+answer equals the fault-free run bitwise, and degraded/shed responses
+are always explicitly marked — never silently wrong.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import EVENT_KINDS, FaultEvent, FaultPlan
+
+__all__ = ["EVENT_KINDS", "FaultEvent", "FaultPlan", "FaultInjector"]

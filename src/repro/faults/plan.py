@@ -1,0 +1,225 @@
+"""Fault schedules: explicit, validated, seeded — and replayable.
+
+A :class:`FaultPlan` is nothing but a sorted tuple of
+:class:`FaultEvent` records; all randomness lives in
+:meth:`FaultPlan.generate`, which draws a schedule from a
+``random.Random(seed)`` so a chaos run is identified by one integer.
+Plans are data, not behavior: the :class:`~repro.faults.injector.
+FaultInjector` interprets them against a live router.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import FaultPlanError
+
+__all__ = ["FaultEvent", "FaultPlan", "EVENT_KINDS"]
+
+EVENT_KINDS = ("crash", "kill_worker", "latency", "drop", "truncate")
+"""Every fault kind the injector knows how to fire.
+
+``crash``       — replica leaves rotation at ``at`` for ``duration``
+                  seconds of clock time (timed recovery brings it back);
+``kill_worker`` — the replica's next ``count`` serve/submit attempts
+                  after ``at`` raise :class:`~repro.errors.WorkerDied`
+                  (a flaky worker: transient, survives a retry);
+``latency``     — attempts on the replica between ``at`` and
+                  ``at + duration`` are ``delay`` seconds slower (a
+                  straggler: drives timeouts and hedging);
+``drop``        — the next ``count`` messages on the shard's router
+                  link after ``at`` are lost in flight
+                  (:class:`~repro.errors.LinkDropped`);
+``truncate``    — like ``drop`` but the payload arrives corrupt and is
+                  *detected* (:class:`~repro.errors.PayloadTruncated`).
+"""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  ``shard``/``replica`` index into the router
+    the plan is attached to; ``replica = -1`` on link-level events."""
+
+    at: float
+    kind: str
+    shard: int = 0
+    replica: int = -1
+    duration: float = 0.0
+    delay: float = 0.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (known: {EVENT_KINDS})"
+            )
+        if self.at < 0:
+            raise FaultPlanError(f"event time must be >= 0, got {self.at}")
+        if self.duration < 0 or self.delay < 0:
+            raise FaultPlanError("duration/delay must be >= 0")
+        if self.count < 1:
+            raise FaultPlanError(f"count must be >= 1, got {self.count}")
+        if self.shard < 0:
+            raise FaultPlanError(f"shard must be >= 0, got {self.shard}")
+        if self.kind in ("crash", "kill_worker", "latency") and self.replica < 0:
+            raise FaultPlanError(f"{self.kind} events need a replica index")
+
+    @property
+    def until(self) -> float:
+        """End of the event's active window (``at`` for point events)."""
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, time-sorted fault schedule."""
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None  # provenance only; generate() stamps it
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.at, EVENT_KINDS.index(e.kind)))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def for_kind(self, kind: str) -> tuple[FaultEvent, ...]:
+        if kind not in EVENT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {kind!r} (known: {EVENT_KINDS})"
+            )
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def check_targets(self, num_shards: int, replicas_per_shard: int) -> None:
+        """Raise unless every event targets a real shard/replica."""
+        for event in self.events:
+            if event.shard >= num_shards:
+                raise FaultPlanError(
+                    f"event targets shard {event.shard} but the router has "
+                    f"{num_shards} shard(s)"
+                )
+            if event.replica >= replicas_per_shard:
+                raise FaultPlanError(
+                    f"event targets replica {event.replica} but shards have "
+                    f"{replicas_per_shard} replica(s)"
+                )
+
+    def keeps_quorum(self, num_shards: int, replicas_per_shard: int) -> bool:
+        """Whether at every instant each shard keeps >= 1 replica outside
+        any crash window — the precondition of the exactness contract.
+
+        Only ``crash`` windows count: every other kind is transient
+        (survived by retry/hedging) and never removes a replica from
+        rotation by itself.
+        """
+        for sid in range(num_shards):
+            windows = [
+                (e.replica, e.at, e.until)
+                for e in self.events
+                if e.kind == "crash" and e.shard == sid
+            ]
+            # Check at every window start: how many replicas are down?
+            for _, start, _ in windows:
+                down = {
+                    rep
+                    for rep, lo, hi in windows
+                    if lo <= start < hi
+                }
+                if len(down) >= replicas_per_shard:
+                    return False
+        return True
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        num_shards: int,
+        replicas_per_shard: int,
+        horizon: float = 10.0,
+        crashes: int = 2,
+        crash_duration: float = 2.0,
+        kills: int = 2,
+        stragglers: int = 2,
+        straggler_delay: float = 0.05,
+        straggler_duration: float = 2.0,
+        drops: int = 2,
+        keep_quorum: bool = True,
+    ) -> "FaultPlan":
+        """Draw a random schedule from ``random.Random(seed)``.
+
+        The same arguments and seed always produce the same plan.  With
+        ``keep_quorum`` (the default) a crash is only scheduled when the
+        target shard keeps at least one replica outside every crash
+        window overlapping the new one — the generated plan provably
+        satisfies :meth:`keeps_quorum`.
+        """
+        if num_shards < 1 or replicas_per_shard < 1:
+            raise FaultPlanError("need >= 1 shard and >= 1 replica per shard")
+        if horizon <= 0:
+            raise FaultPlanError(f"horizon must be positive, got {horizon}")
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+        crash_windows: dict[int, list[tuple[int, float, float]]] = {}
+        for _ in range(crashes):
+            sid = rng.randrange(num_shards)
+            rep = rng.randrange(replicas_per_shard)
+            at = rng.uniform(0.0, horizon)
+            dur = rng.uniform(0.25, 1.0) * crash_duration
+            if keep_quorum:
+                taken = crash_windows.get(sid, [])
+                overlapping = {
+                    r for r, lo, hi in taken if lo < at + dur and at < hi
+                }
+                overlapping.add(rep)
+                if len(overlapping) >= replicas_per_shard:
+                    continue  # would leave the shard empty: skip this draw
+            crash_windows.setdefault(sid, []).append((rep, at, at + dur))
+            events.append(
+                FaultEvent(at, "crash", shard=sid, replica=rep, duration=dur)
+            )
+        for _ in range(kills):
+            sid = rng.randrange(num_shards)
+            rep = rng.randrange(replicas_per_shard)
+            events.append(
+                FaultEvent(
+                    rng.uniform(0.0, horizon),
+                    "kill_worker",
+                    shard=sid,
+                    replica=rep,
+                    count=1,
+                )
+            )
+        for _ in range(stragglers):
+            sid = rng.randrange(num_shards)
+            rep = rng.randrange(replicas_per_shard)
+            events.append(
+                FaultEvent(
+                    rng.uniform(0.0, horizon),
+                    "latency",
+                    shard=sid,
+                    replica=rep,
+                    duration=rng.uniform(0.25, 1.0) * straggler_duration,
+                    delay=rng.uniform(0.5, 1.5) * straggler_delay,
+                )
+            )
+        for _ in range(drops):
+            sid = rng.randrange(num_shards)
+            kind = "drop" if rng.random() < 0.5 else "truncate"
+            events.append(
+                FaultEvent(
+                    rng.uniform(0.0, horizon),
+                    kind,
+                    shard=sid,
+                    count=rng.randrange(1, 3),
+                )
+            )
+        return cls(events=tuple(events), seed=seed)

@@ -31,7 +31,12 @@ from repro.core.flat_index import DEFAULT_BATCH, topk_rows, validate_batch
 from repro.core.sparse_ops import row_sparsevec, rows_matrix, topk_rows_sparse
 from repro.core.sparsevec import SparseVec
 from repro.core.updates import EdgeUpdate, UpdateReceipt
-from repro.errors import ServingError
+from repro.errors import (
+    DegradedResult,
+    ServingError,
+    ShardingError,
+    TransientFault,
+)
 from repro.kernels.dispatch import KernelsLike
 from repro.serving.adapters import as_backend
 from repro.serving.cache import PPVCache
@@ -81,14 +86,37 @@ class Ticket:
     tagged at resolve time from the backend's counter, so callers of a
     live-updated service can tell exactly which epoch each response
     reflects.
+
+    ``status`` is the degradation contract surfaced per request:
+    ``"ok"`` answers are fresh and exact; ``"degraded"`` answers were
+    served stale from a cache while their partition was unreachable
+    (exact values, unconfirmed freshness); ``"shed"`` requests got no
+    answer at all — reading :attr:`result` raises
+    :class:`~repro.errors.DegradedResult` so a shed zero row can never
+    be mistaken for a real PPV.  ``latency_seconds`` is the request's
+    modeled latency: clock time from submit to resolve plus any
+    injected/modeled serving delay the backend reported.
     """
 
-    __slots__ = ("node", "cached", "epoch", "_value")
+    __slots__ = (
+        "node",
+        "cached",
+        "epoch",
+        "status",
+        "submitted_at",
+        "resolved_at",
+        "extra_latency_seconds",
+        "_value",
+    )
 
     def __init__(self, node: int) -> None:
         self.node = node
         self.cached = False
         self.epoch: int | None = None
+        self.status = "ok"
+        self.submitted_at: float | None = None
+        self.resolved_at: float | None = None
+        self.extra_latency_seconds = 0.0
         self._value = _PENDING
 
     @property
@@ -96,14 +124,37 @@ class Ticket:
         return self._value is not _PENDING
 
     @property
+    def shed(self) -> bool:
+        return self.status == "shed"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Modeled request latency (``None`` while still queued)."""
+        if self.submitted_at is None or self.resolved_at is None:
+            return None
+        return (
+            self.resolved_at - self.submitted_at + self.extra_latency_seconds
+        )
+
+    @property
     def result(self) -> np.ndarray:
         """The PPV (a read-only dense row, or a
         :class:`~repro.core.sparsevec.SparseVec` when the service runs in
-        sparse mode); raises while still queued."""
+        sparse mode); raises while still queued, and raises
+        :class:`~repro.errors.DegradedResult` for a shed request."""
         if self._value is _PENDING:
             raise ServingError(
                 f"request for node {self.node} not served yet — "
                 "call poll()/flush() on the service"
+            )
+        if self.status == "shed":
+            raise DegradedResult(
+                f"request for node {self.node} was shed — no replica and "
+                "no cached row could answer it"
             )
         return self._value
 
@@ -114,17 +165,46 @@ class Ticket:
 
 @dataclass
 class ServiceStats:
-    """Traffic counters of one :class:`PPVService`."""
+    """Traffic counters of one :class:`PPVService`.
+
+    The degradation/SLO block: ``degraded``/``shed`` count explicitly
+    marked non-fresh answers (the graceful-degradation contract);
+    ``slo_met``/``slo_missed`` classify every *answered* request against
+    the service's ``slo_seconds`` target (shed requests are availability
+    failures, not latency ones, and are excluded); latency totals are
+    modeled request latency — queue wait plus any serving delay the
+    backend reported.
+    """
 
     requests: int = 0
     cache_hits: int = 0
     batches: int = 0
     batched_queries: int = 0  # deduplicated nodes sent to the backend
     updates: int = 0  # edge updates applied through the service
+    degraded: int = 0  # answers served stale, explicitly marked
+    shed: int = 0  # requests refused (zero row + DegradedResult)
+    slo_met: int = 0  # answered within slo_seconds (when configured)
+    slo_missed: int = 0  # answered late (when configured)
+    total_latency_seconds: float = 0.0
+    max_latency_seconds: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
         return self.batched_queries / self.batches if self.batches else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that got an answer (1.0 with no traffic):
+        degraded answers count as available, shed requests do not."""
+        if not self.requests:
+            return 1.0
+        return 1.0 - self.shed / self.requests
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        return (
+            self.total_latency_seconds / self.requests if self.requests else 0.0
+        )
 
 
 class PPVService:
@@ -160,11 +240,22 @@ class PPVService:
         sparse: bool = False,
         collect_stats: bool = True,
         kernels: KernelsLike = None,
+        slo_seconds: float | None = None,
+        degrade: bool = False,
+        shed_above: int | None = None,
     ) -> None:
         if window < 0:
             raise ServingError(f"window must be >= 0, got {window}")
         if max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if slo_seconds is not None and slo_seconds <= 0:
+            raise ServingError(
+                f"slo_seconds must be positive, got {slo_seconds}"
+            )
+        if shed_above is not None and shed_above < 1:
+            raise ServingError(
+                f"shed_above must be >= 1, got {shed_above}"
+            )
         self.backend = as_backend(engine)
         self.window = float(window)
         self.max_batch = int(max_batch)
@@ -185,6 +276,20 @@ class PPVService:
         #: reductions dispatch to (``None`` = the process default); the
         #: wrapped engine keeps whatever ``kernels=`` it was built with.
         self.kernels: KernelsLike = kernels
+        #: Per-request latency target for the SLO counters in
+        #: :class:`ServiceStats` (``None`` = don't classify).
+        self.slo_seconds = slo_seconds
+        # Graceful degradation: when the backend itself fails a flush
+        # (every replica of a partition gone), serve-stale from the
+        # service cache / shed instead of raising — each answer
+        # explicitly marked.  Markers the backend already produced (a
+        # resilient ShardRouter with degrade=True) propagate regardless.
+        self.degrade = bool(degrade)
+        # Admission control: with more than `shed_above` requests
+        # already queued, new submits are shed on arrival — an
+        # overloaded service answers fewer requests rather than all of
+        # them late.
+        self.shed_above = shed_above
         self.stats = ServiceStats()
         self._pending: list[Ticket] = []
         self._deadline: float | None = None
@@ -261,15 +366,23 @@ class PPVService:
         self.stats.requests += 1
         self._sync_cache_epoch()
         ticket = Ticket(u)
+        ticket.submitted_at = self.clock.now()
         if self.cache is not None:
             hit = self.cache.get(u)
             if hit is not None:
                 self.stats.cache_hits += 1
                 ticket.cached = True
-                ticket._resolve(self._coerce(hit), self.epoch)
+                self._finish_ticket(ticket, self._coerce(hit), self.epoch)
                 return ticket
+        if self.shed_above is not None and len(self._pending) >= self.shed_above:
+            # Admission control: the queue is past the shedding mark —
+            # refuse on arrival instead of answering everyone late.
+            self._finish_ticket(
+                ticket, self._zero_row(), self.epoch, status="shed"
+            )
+            return ticket
         if not self._pending:
-            self._deadline = self.clock.now() + self.window
+            self._deadline = ticket.submitted_at + self.window
         self._pending.append(ticket)
         if len(self._pending) >= self.max_batch:
             self._flush()
@@ -305,6 +418,67 @@ class PPVService:
             return row
         return entry
 
+    def _zero_row(self) -> np.ndarray | SparseVec:
+        """The explicit payload of a shed request (its ticket raises
+        :class:`~repro.errors.DegradedResult` on ``result`` anyway)."""
+        if self.sparse:
+            return SparseVec.empty()
+        row = np.zeros(self.backend.num_nodes)
+        row.flags.writeable = False
+        return row
+
+    def _finish_ticket(
+        self,
+        ticket: Ticket,
+        value: np.ndarray | SparseVec,
+        epoch: int,
+        *,
+        status: str = "ok",
+        extra_latency: float = 0.0,
+    ) -> None:
+        """Resolve one ticket and account its latency/SLO/degradation.
+
+        Shed requests count against availability, not the SLO latency
+        classification — a refused request was never answered late.
+        """
+        ticket.status = status
+        ticket.extra_latency_seconds = float(extra_latency)
+        ticket._resolve(value, epoch)
+        ticket.resolved_at = self.clock.now()
+        latency = ticket.latency_seconds
+        assert latency is not None
+        stats = self.stats
+        if status == "degraded":
+            stats.degraded += 1
+        elif status == "shed":
+            stats.shed += 1
+        stats.total_latency_seconds += latency
+        if latency > stats.max_latency_seconds:
+            stats.max_latency_seconds = latency
+        if self.slo_seconds is not None and status != "shed":
+            if latency <= self.slo_seconds:
+                stats.slo_met += 1
+            else:
+                stats.slo_missed += 1
+
+    def _flush_degraded(self, tickets: list[Ticket]) -> None:
+        """The backend failed the whole flush: serve-stale what the
+        service cache still holds (exact rows, explicitly marked
+        ``degraded``) and shed the rest — never raise at the frontend,
+        never invent a value."""
+        base = self.epoch
+        for ticket in tickets:
+            hit = self.cache.get(ticket.node) if self.cache is not None else None
+            if hit is not None:
+                self._finish_ticket(
+                    ticket, self._coerce(hit), base, status="degraded"
+                )
+            else:
+                self._finish_ticket(
+                    ticket, self._zero_row(), base, status="shed"
+                )
+        self.stats.batches += 1
+
     def _flush(self) -> int:
         tickets, self._pending = self._pending, []
         self._deadline = None
@@ -312,14 +486,20 @@ class PPVService:
         unique = np.unique(
             np.asarray([t.node for t in tickets], dtype=np.int64)
         )
-        if self.sparse:
-            out, meta = self.backend.query_many_sparse(
-                unique, collect_stats=self.collect_stats
-            )
-        else:
-            out, meta = self.backend.query_many(
-                unique, collect_stats=self.collect_stats
-            )
+        try:
+            if self.sparse:
+                out, meta = self.backend.query_many_sparse(
+                    unique, collect_stats=self.collect_stats
+                )
+            else:
+                out, meta = self.backend.query_many(
+                    unique, collect_stats=self.collect_stats
+                )
+        except (ShardingError, TransientFault):
+            if not self.degrade:
+                raise
+            self._flush_degraded(tickets)
+            return len(tickets)
         base = self.epoch
         # Mid-rollout a sharded backend serves mixed epochs: per-row
         # metadata carries the truth, and nothing may enter the cache
@@ -328,6 +508,8 @@ class PPVService:
         mixed = bool(getattr(self.backend, "rollout_in_progress", False))
         rows: dict[int, np.ndarray | SparseVec] = {}
         epochs: dict[int, int] = {}
+        statuses: dict[int, str] = {}
+        delays: dict[int, float] = {}
         for j, u in enumerate(unique.tolist()):
             if self.sparse:
                 row = row_sparsevec(out, j)
@@ -335,13 +517,25 @@ class PPVService:
                 row = out[j].copy()
                 row.flags.writeable = False
             rows[u] = row
-            epochs[u] = (
-                int(getattr(meta[j], "epoch", base)) if j < len(meta) else base
+            info = meta[j] if j < len(meta) else None
+            epochs[u] = int(getattr(info, "epoch", base)) if info else base
+            statuses[u] = str(getattr(info, "status", "ok")) if info else "ok"
+            delays[u] = (
+                float(getattr(info, "latency_seconds", 0.0)) if info else 0.0
             )
-            if self.cache is not None and not mixed:
+            # Only fresh exact rows may enter the cache: a degraded row's
+            # freshness is unconfirmed and a shed row is an explicit zero.
+            if self.cache is not None and not mixed and statuses[u] == "ok":
                 self.cache.put(u, row)
         for ticket in tickets:
-            ticket._resolve(rows[ticket.node], epochs[ticket.node])
+            u = ticket.node
+            self._finish_ticket(
+                ticket,
+                rows[u],
+                epochs[u],
+                status=statuses[u],
+                extra_latency=delays[u],
+            )
         self.stats.batches += 1
         self.stats.batched_queries += int(unique.size)
         return len(tickets)
@@ -417,13 +611,16 @@ class PPVService:
             self.poll()
             tickets.append(self.submit(u))
         self.flush()
+        # Shed tickets hold explicit zero rows; the stacked matrix keeps
+        # them in place (ticket.result raises for per-request callers —
+        # stream callers read ServiceStats for the degradation report).
         if self.sparse:
             return rows_matrix(
-                [t.result for t in tickets], self.backend.num_nodes
+                [t._value for t in tickets], self.backend.num_nodes
             )
         if not tickets:
             return np.zeros((0, self.backend.num_nodes))
-        return np.vstack([t.result for t in tickets])
+        return np.vstack([t._value for t in tickets])
 
     def replay(
         self, events: Iterable[tuple[float, object]]

@@ -12,9 +12,23 @@ batch order, and meters every router↔shard byte.  Per-shard
 failover (mark down / reroute / timed recovery under a
 :class:`~repro.serving.service.SimulatedClock`) and a :class:`ShardStats`
 report round out the subsystem.
+
+Routers built with ``resilience=RetryPolicy(...)`` additionally get
+bounded retries with deterministic-jitter backoff, per-attempt
+deadlines, tail-latency hedging, per-replica circuit breakers and —
+with ``degrade=True`` — graceful degradation (explicitly marked
+``"degraded"``/``"shed"`` rows instead of errors when a whole partition
+is unreachable).  See :mod:`repro.sharding.resilience` and the chaos
+harness in :mod:`repro.faults`.
 """
 
 from repro.sharding.replica import Replica
+from repro.sharding.resilience import (
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+    charge_wait,
+)
 from repro.sharding.rollout import StaggeredRollout
 from repro.sharding.router import ShardRouter, ShardStats
 from repro.sharding.routing import (
@@ -33,6 +47,10 @@ __all__ = [
     "ShardRouter",
     "ShardStats",
     "StaggeredRollout",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "charge_wait",
     "RoutingPolicy",
     "OwnerAffinityPolicy",
     "RoundRobinPolicy",

@@ -28,6 +28,8 @@ from repro.serving.adapters import MutableBackend, as_backend, as_mutable_backen
 
 if TYPE_CHECKING:
     from repro.exec.backend import ExecutionBackend
+    from repro.faults.injector import ReplicaProbe
+    from repro.sharding.resilience import CircuitBreaker
 
 __all__ = ["Replica"]
 
@@ -43,6 +45,13 @@ class Replica:
         self.busy_seconds = 0.0
         self._down = False
         self._down_until: float | None = None
+        # Fault-injection seam: a FaultInjector installs a probe here;
+        # the shard consults it before every serve attempt.  None (the
+        # default) costs one attribute read on the serving path.
+        self.fault_hook: ReplicaProbe | None = None
+        # Per-replica circuit breaker, installed by the owning shard
+        # when the router runs with a resilience policy.
+        self.breaker: CircuitBreaker | None = None
         # Worker-side execution state, per (execution backend, engine
         # epoch): None = not probed, False = engine has no shared-memory
         # layout (serve inline), a key = registered with that backend.
@@ -134,6 +143,31 @@ class Replica:
         self.busy_seconds += float(seconds)
         self.served_queries += int(num_queries)
         self.served_batches += 1
+
+    # ----- fault probes -------------------------------------------------
+    def probe_faults(self, now: float) -> float:
+        """Consult the injected fault hook before a serve attempt.
+
+        Raises the scheduled fault when one is due (``WorkerDied``, a
+        link fault), else returns the injected straggler latency at
+        clock time ``now`` — charged to ``busy_seconds`` so stragglers
+        show up in the shard makespan like real slow compute.  Without
+        a hook this is a no-op returning 0.0.
+        """
+        if self.fault_hook is None:
+            return 0.0
+        self.fault_hook.before_serve(now)
+        delay = float(self.fault_hook.latency(now))
+        if delay > 0.0:
+            self.busy_seconds += delay
+        return delay
+
+    def reset_exec(self) -> None:
+        """Drop worker-side execution state so the next submit registers
+        afresh — the transient-``WorkerDied`` retry path: with a process
+        pool the key re-registers round-robin on a *different* worker,
+        so one flaky worker doesn't permanently drain this replica."""
+        self._drop_exec()
 
     def _drop_exec(self) -> None:
         if self._exec_key not in (None, False) and self._exec_backend is not None:

@@ -41,12 +41,14 @@ from repro.kernels.dispatch import KernelsLike
 from repro.serving.adapters import QueryBackend
 from repro.serving.cache import CacheStats, PPVCache
 from repro.serving.service import SystemClock
+from repro.sharding.resilience import ResilienceStats, RetryPolicy
 from repro.sharding.rollout import StaggeredRollout
 from repro.sharding.routing import RoutingPolicy, resolve_policy
 from repro.sharding.shard import RouteInfo, Shard
 
 if TYPE_CHECKING:
     from repro.exec.backend import ExecutionBackend
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["ShardStats", "ShardRouter"]
 
@@ -69,6 +71,10 @@ class ShardStats:
     bytes_by_shard: list[int]
     busy_seconds_by_shard: list[float]
     cache: CacheStats | None
+    resilience: ResilienceStats | None = None
+    """Fault-handling counters (retries, hedges, degraded/shed rows) —
+    always present on routers built by :class:`ShardRouter`, ``None``
+    only for hand-built stats."""
 
     @property
     def num_shards(self) -> int:
@@ -127,11 +133,19 @@ class ShardRouter(QueryBackend):
         clock: Any = None,
         backend: ExecutionBackend | None = None,
         kernels: KernelsLike = None,
+        resilience: RetryPolicy | None = None,
     ) -> None:
         if not shard_engines:
             raise ShardingError("need at least one shard")
         self.clock = clock if clock is not None else SystemClock()
         self.meter = NetworkMeter()
+        # Resilience policy shared by every shard (None = legacy
+        # failover only); one stats block reports the whole fleet's
+        # retry/hedge/degradation overhead.  A FaultInjector attaches
+        # itself here so batch entry points pump its schedule.
+        self.resilience = resilience
+        self.res_stats = ResilienceStats()
+        self.fault_injector: FaultInjector | None = None
         # Execution seam, shared by every shard: with a process-pool
         # backend the router's two-phase fan-out (submit to all shards,
         # then finish in order) runs shard replicas concurrently in
@@ -159,6 +173,8 @@ class ShardRouter(QueryBackend):
                     clock=self.clock,
                     backend=backend,
                     kernels=kernels,
+                    resilience=resilience,
+                    res_stats=self.res_stats,
                 )
             )
         sizes = {shard.num_nodes for shard in self.shards}
@@ -230,6 +246,12 @@ class ShardRouter(QueryBackend):
     # ----- QueryBackend interface --------------------------------------
     supports_sparse = True  # native sparse fan-out below
 
+    def _pump_faults(self) -> None:
+        """Fire any scheduled faults the clock has passed (no-op without
+        an attached :class:`~repro.faults.injector.FaultInjector`)."""
+        if self.fault_injector is not None:
+            self.fault_injector.pump()
+
     def query_many(
         self,
         nodes: Sequence[int] | np.ndarray,
@@ -251,6 +273,7 @@ class ShardRouter(QueryBackend):
         infos: list[RouteInfo | None] = [None] * nodes.size
         if nodes.size == 0:
             return out, []
+        self._pump_faults()
         assigned = self.policy.assign(nodes, self)
         self.batches += 1
         # Two-phase fan-out: submit every shard's share before finishing
@@ -287,6 +310,7 @@ class ShardRouter(QueryBackend):
         if nodes.size == 0:
             return sp.csr_matrix((0, self.num_nodes)), []
         infos: list[RouteInfo | None] = [None] * nodes.size
+        self._pump_faults()
         assigned = self.policy.assign(nodes, self)
         self.batches += 1
         parts: list[Any] = []
@@ -333,6 +357,7 @@ class ShardRouter(QueryBackend):
         infos: list[RouteInfo | None] = [None] * nodes.size
         if nodes.size == 0:
             return ids, scores, []
+        self._pump_faults()
         assigned = self.policy.assign(nodes, self)
         self.batches += 1
         for sid in np.unique(assigned).tolist():
@@ -375,6 +400,7 @@ class ShardRouter(QueryBackend):
                 for shard in self.shards
             ],
             cache=cache,
+            resilience=self.res_stats,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -13,7 +13,7 @@ with a :class:`~repro.serving.service.SimulatedClock`.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Collection, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -25,10 +25,22 @@ from repro.core.sparsevec import WIRE_ENTRY_BYTES, WIRE_HEADER_BYTES, SparseVec
 from repro.kernels.dispatch import KernelsLike
 from repro.core.updates import UPDATE_WIRE_BYTES, EdgeUpdate, UpdateReceipt
 from repro.distributed.network import NetworkMeter
-from repro.errors import ShardingError, WorkerDied
+from repro.errors import (
+    DeadlineExceeded,
+    ReplicaUnavailable,
+    ShardingError,
+    TransientFault,
+    WorkerDied,
+)
 from repro.serving.cache import PPVCache
 from repro.serving.service import SystemClock
 from repro.sharding.replica import Replica
+from repro.sharding.resilience import (
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+    charge_wait,
+)
 
 if TYPE_CHECKING:
     from repro.exec.backend import ExecutionBackend
@@ -51,12 +63,29 @@ class RouteInfo:
     answer — the serving replica's epoch, or the shard's completed epoch
     for cache hits; mid-rollout it tells exactly which version each row
     reflects.
+
+    ``status`` is the degradation contract: ``"ok"`` rows are exact,
+    fresh answers (bitwise-equal to a fault-free run no matter what
+    failover produced them); ``"degraded"`` rows were served from the
+    shard cache while the partition's replicas were unreachable (exact
+    values, but freshness could not be confirmed); ``"shed"`` rows
+    carry *zeros* — the shard had no replica and no cached row, and the
+    router explicitly refused to invent an answer.  ``latency_seconds``
+    is the modeled extra latency of the serving attempt (injected
+    straggler delay under fault injection; 0.0 otherwise).
     """
 
     shard: int
     replica: int
     cached: bool
     epoch: int = 0
+    status: str = "ok"
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether this row is a fresh exact answer."""
+        return self.status == "ok"
 
 
 class _PendingBatch:
@@ -78,6 +107,7 @@ class _PendingBatch:
         "inverse",
         "replica",
         "future",
+        "failed",
     )
 
 
@@ -94,6 +124,8 @@ class Shard:
         clock: Any = None,
         backend: ExecutionBackend | None = None,
         kernels: KernelsLike = None,
+        resilience: RetryPolicy | None = None,
+        res_stats: ResilienceStats | None = None,
     ) -> None:
         if not replicas:
             raise ShardingError(f"shard {shard_id} needs at least one replica")
@@ -124,6 +156,20 @@ class Shard:
         self.queries = 0  # rows served, cached or computed
         self.batches = 0
         self._held: set[int] | None = None
+        # Resilience policy: None keeps the legacy path (WorkerDied
+        # failover only); a RetryPolicy adds bounded retries with
+        # backoff, per-attempt deadlines, hedging and circuit breakers.
+        # The stats block is shared across a router's shards so retry/
+        # hedge overhead is reported fleet-wide.
+        self.resilience = resilience
+        self.res_stats = res_stats if res_stats is not None else ResilienceStats()
+        if resilience is not None:
+            for replica in self.replicas:
+                if replica.breaker is None:
+                    replica.breaker = CircuitBreaker(
+                        resilience.breaker_failures,
+                        resilience.breaker_reset_seconds,
+                    )
 
     # ----- updates ------------------------------------------------------
     @property
@@ -153,7 +199,7 @@ class Shard:
         receipt: UpdateReceipt | None = None
         for rep in targets:
             receipt = rep.apply_update(update, shared)
-            self.meter.record(
+            self._record_wire(
                 "router", f"shard-{self.shard_id}", UPDATE_WIRE_BYTES
             )
         if replica is None and receipt.changed and self.cache is not None:
@@ -186,41 +232,107 @@ class Shard:
     def mark_up(self, replica: int) -> None:
         self.replicas[replica].mark_up()
 
-    def pick_replica(self) -> Replica:
+    def pick_replica(self, exclude: Collection[int] = ()) -> Replica:
         """Deterministic choice: least served queries among healthy
-        replicas, ties to the lowest replica id."""
+        replicas, ties to the lowest replica id.
+
+        Replicas in ``exclude`` (already tried for this batch) are
+        passed over, as are replicas whose circuit breaker is open — but
+        an open breaker never makes the shard unavailable: when every
+        healthy candidate's breaker is open the breakers are bypassed
+        (counted in ``breaker_skips``) rather than failing the batch.
+        """
         now = self._now()
-        best = None
-        for replica in self.replicas:
-            if not replica.is_up(now):
-                continue
+        healthy = [
+            r
+            for r in self.replicas
+            if r.replica_id not in exclude and r.is_up(now)
+        ]
+        candidates = [
+            r for r in healthy if r.breaker is None or r.breaker.allow(now)
+        ]
+        if len(candidates) < len(healthy):
+            self.res_stats.breaker_skips += len(healthy) - len(candidates)
+        if not candidates:
+            candidates = healthy  # availability beats the breakers
+        best: Replica | None = None
+        for replica in candidates:
             if best is None or replica.served_queries < best.served_queries:
                 best = replica
         if best is None:
-            raise ShardingError(
+            raise ReplicaUnavailable(
                 f"shard {self.shard_id}: every replica is marked down"
             )
         return best
 
     # ----- serving ------------------------------------------------------
+    @property
+    def _degrade(self) -> bool:
+        return self.resilience is not None and self.resilience.degrade
+
+    def _record_wire(self, sender: str, receiver: str, num_bytes: int) -> None:
+        """Meter one message, retransmitting on injected link faults.
+
+        Without a resilience policy the meter's fault hook (if any)
+        raises straight through — the unprotected stack's behavior.
+        With one, each lost/corrupt payload is retransmitted after a
+        backoff (every send is charged: real retransmits pay the wire
+        again); exhaustion raises :class:`~repro.errors.
+        ReplicaUnavailable` chained to the last wire fault.
+        """
+        policy = self.resilience
+        if policy is None:
+            self.meter.record(sender, receiver, num_bytes)
+            return
+        last_error: TransientFault | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                self.meter.record(sender, receiver, num_bytes)
+                return
+            except TransientFault as exc:
+                last_error = exc
+                self.res_stats.retries += 1
+                charge_wait(
+                    self.clock,
+                    policy.backoff(attempt, self.shard_id),
+                    self.res_stats,
+                )
+                continue
+        raise ReplicaUnavailable(
+            f"shard {self.shard_id}: link {sender}->{receiver} kept "
+            f"failing after {policy.max_attempts} send(s)"
+        ) from last_error
+
+    def _submit_to(self, replica: Replica, unique: np.ndarray, *, sparse: bool) -> Any:
+        """Submit the batch to one replica's worker, retrying once on a
+        transient :class:`~repro.errors.WorkerDied`: the execution key
+        re-registers afresh (on a process pool that lands round-robin on
+        a *different* worker), so one flaky worker doesn't force a
+        mark-down.  A second death propagates for escalation."""
+        try:
+            return replica.exec_submit(self.exec_backend, unique, sparse=sparse)
+        except WorkerDied:
+            self.res_stats.worker_retries += 1
+            replica.reset_exec()
+            return replica.exec_submit(self.exec_backend, unique, sparse=sparse)
+
     def _submit_compute(
-        self, unique: np.ndarray, *, sparse: bool
+        self, unique: np.ndarray, *, sparse: bool, exclude: Collection[int] = ()
     ) -> tuple[Replica, Any]:
         """Pick a replica and hand it the deduplicated batch.
 
         Returns ``(replica, future)`` where ``future`` is ``None`` when
         the batch will be served inline at finish time (no execution
         backend, or an engine without a worker-side layout).  A worker
-        that died before accepting the batch marks its replica down and
-        the next healthy sibling is picked; :meth:`pick_replica` raises
-        :class:`~repro.errors.ShardingError` once none remain.
+        that died twice before accepting the batch (see
+        :meth:`_submit_to`) marks its replica down and the next healthy
+        sibling is picked; :meth:`pick_replica` raises
+        :class:`~repro.errors.ReplicaUnavailable` once none remain.
         """
         while True:
-            replica = self.pick_replica()
+            replica = self.pick_replica(exclude=exclude)
             try:
-                future = replica.exec_submit(
-                    self.exec_backend, unique, sparse=sparse
-                )
+                future = self._submit_to(replica, unique, sparse=sparse)
             except WorkerDied:
                 self.mark_down(replica.replica_id)
                 continue
@@ -228,32 +340,230 @@ class Shard:
 
     def _finish_compute(
         self, replica: Replica, future: Any, unique: np.ndarray, *, sparse: bool
-    ) -> tuple[Any, Replica]:
-        """Resolve one submitted batch, failing over on worker death.
+    ) -> tuple[Any, Replica, float]:
+        """Resolve one submitted batch; returns ``(result, serving
+        replica, modeled extra latency)``.  Dispatches to the legacy
+        failover path or the resilient path by policy."""
+        if self.resilience is None:
+            return self._finish_compute_basic(replica, future, unique, sparse=sparse)
+        return self._finish_compute_resilient(replica, future, unique, sparse=sparse)
 
-        A :class:`~repro.errors.WorkerDied` from the future marks the
-        serving replica down and resubmits the same batch to a sibling —
-        the caller never observes a partial answer.  Successful worker
-        batches charge the worker's measured compute wall to the replica
-        via :meth:`~repro.sharding.replica.Replica.note_served`.
+    def _finish_compute_basic(
+        self, replica: Replica, future: Any, unique: np.ndarray, *, sparse: bool
+    ) -> tuple[Any, Replica, float]:
+        """Legacy failover: worker death retries once in place, then
+        marks the replica down and resubmits to a sibling — the caller
+        never observes a partial answer.  Injected link faults and
+        straggler latency surface unhandled (no policy, no protection).
+        Successful worker batches charge the worker's measured compute
+        wall to the replica via
+        :meth:`~repro.sharding.replica.Replica.note_served`.
         """
+        retried: set[int] = set()
         while True:
-            if future is None:
-                if sparse:
-                    result, _ = replica.query_many_sparse(
-                        unique, collect_stats=False
-                    )
-                else:
-                    result, _ = replica.query_many(unique, collect_stats=False)
-                return result, replica
             try:
+                delay = replica.probe_faults(self._now())
+                if future is None:
+                    if sparse:
+                        result, _ = replica.query_many_sparse(
+                            unique, collect_stats=False
+                        )
+                    else:
+                        result, _ = replica.query_many(
+                            unique, collect_stats=False
+                        )
+                    return result, replica, delay
                 result, wall = future.result()
             except WorkerDied:
+                if replica.replica_id not in retried:
+                    # Transient death: retry once on the same replica
+                    # before escalating to mark_down failover.
+                    retried.add(replica.replica_id)
+                    self.res_stats.worker_retries += 1
+                    replica.reset_exec()
+                    try:
+                        future = self._submit_to(replica, unique, sparse=sparse)
+                        continue
+                    except WorkerDied:
+                        pass
                 self.mark_down(replica.replica_id)
                 replica, future = self._submit_compute(unique, sparse=sparse)
                 continue
             replica.note_served(int(unique.size), wall)
-            return result, replica
+            return result, replica, delay
+
+    def _resolve(
+        self, replica: Replica, future: Any, unique: np.ndarray, *, sparse: bool
+    ) -> Any:
+        """Resolve one attempt's answer (inline serve or worker future),
+        retrying a resolve-time worker death once in place."""
+        if future is None:
+            if sparse:
+                result, _ = replica.query_many_sparse(unique, collect_stats=False)
+            else:
+                result, _ = replica.query_many(unique, collect_stats=False)
+            return result
+        try:
+            result, wall = future.result()
+        except WorkerDied:
+            self.res_stats.worker_retries += 1
+            replica.reset_exec()
+            future = self._submit_to(replica, unique, sparse=sparse)
+            if future is None:  # engine lost its worker-side layout
+                return self._resolve(replica, None, unique, sparse=sparse)
+            result, wall = future.result()
+        replica.note_served(int(unique.size), wall)
+        return result
+
+    def _note_failure(self, replica: Replica, now: float) -> None:
+        if replica.breaker is not None and replica.breaker.record_failure(now):
+            self.res_stats.breaker_opens += 1
+
+    def _fail_and_rotate(
+        self,
+        replica: Replica,
+        exc: Exception,
+        unique: np.ndarray,
+        *,
+        sparse: bool,
+        attempt: int,
+        tried: set[int],
+    ) -> tuple[Replica, Any]:
+        """Account one failed attempt, back off, resubmit elsewhere.
+
+        The failed replica feeds its breaker and joins ``tried`` so the
+        next pick prefers an untried sibling — it is *not* marked down:
+        transient faults pass, and a replica that keeps failing is
+        isolated by its breaker opening, which unlike a mark-down heals
+        on its own after the cool-off.  When every candidate was tried
+        the exclusion resets — a second lap beats giving up early.
+        """
+        del exc  # kept in the signature for the failure taxonomy
+        self._note_failure(replica, self._now())
+        tried.add(replica.replica_id)
+        assert self.resilience is not None
+        charge_wait(
+            self.clock,
+            self.resilience.backoff(attempt, self.shard_id),
+            self.res_stats,
+        )
+        try:
+            return self._submit_compute(unique, sparse=sparse, exclude=tried)
+        except ReplicaUnavailable:
+            tried.clear()
+            return self._submit_compute(unique, sparse=sparse)
+
+    def _try_hedge(
+        self,
+        unique: np.ndarray,
+        *,
+        sparse: bool,
+        primary: Replica,
+        primary_delay: float,
+    ) -> tuple[Replica, Any, float] | None:
+        """Race a sibling against a slow primary (tail-latency hedging).
+
+        The hedge launches ``hedge_after_seconds`` into the primary's
+        wait, so its effective latency carries that head start.  Returns
+        the winning ``(replica, future, effective_delay)``, or ``None``
+        when no sibling can serve or the primary still wins — both
+        attempts are charged either way; the stats show the overhead.
+        """
+        policy = self.resilience
+        assert policy is not None and policy.hedge_after_seconds is not None
+        stats = self.res_stats
+        try:
+            sibling = self.pick_replica(exclude={primary.replica_id})
+        except ReplicaUnavailable:
+            return None
+        stats.hedges += 1
+        stats.attempts += 1
+        try:
+            sibling_delay = sibling.probe_faults(self._now())
+            effective = policy.hedge_after_seconds + sibling_delay
+            if effective >= primary_delay:
+                return None  # the primary still wins; the hedge was waste
+            future = self._submit_to(sibling, unique, sparse=sparse)
+        except TransientFault:
+            return None  # the hedge failed; the primary attempt stands
+        stats.hedge_wins += 1
+        return sibling, future, effective
+
+    def _finish_compute_resilient(
+        self, replica: Replica, future: Any, unique: np.ndarray, *, sparse: bool
+    ) -> tuple[Any, Replica, float]:
+        """Bounded-retry resolve: probe → hedge → deadline → serve.
+
+        Each attempt first probes the injected fault hook (point faults
+        raise, stragglers report latency), hedges to a sibling when the
+        primary is slower than ``hedge_after_seconds``, abandons the
+        attempt past ``timeout_seconds``, then serves.  Transient
+        failures rotate to a sibling after a jittered backoff charged to
+        the clock.  On exhaustion: if *every* failure was a missed
+        deadline the answer is served late (replicas are slow, not gone
+        — an exact answer late beats shedding it, counted in
+        ``deadline_overruns``); otherwise
+        :class:`~repro.errors.ReplicaUnavailable` is raised chained to
+        the last failure.
+        """
+        policy = self.resilience
+        assert policy is not None
+        stats = self.res_stats
+        last_error: Exception | None = None
+        only_slow = True
+        tried: set[int] = set()
+        for attempt in range(policy.max_attempts):
+            stats.attempts += 1
+            if attempt:
+                stats.retries += 1
+            try:
+                delay = replica.probe_faults(self._now())
+                if (
+                    policy.hedge_after_seconds is not None
+                    and delay > policy.hedge_after_seconds
+                ):
+                    hedge = self._try_hedge(
+                        unique,
+                        sparse=sparse,
+                        primary=replica,
+                        primary_delay=delay,
+                    )
+                    if hedge is not None:
+                        replica, future, delay = hedge
+                if (
+                    policy.timeout_seconds is not None
+                    and delay > policy.timeout_seconds
+                ):
+                    stats.deadline_exceeded += 1
+                    raise DeadlineExceeded(
+                        f"shard {self.shard_id}: modeled attempt latency "
+                        f"{delay:.4f}s exceeds the per-attempt deadline "
+                        f"of {policy.timeout_seconds:.4f}s"
+                    )
+                result = self._resolve(replica, future, unique, sparse=sparse)
+            except (TransientFault, DeadlineExceeded) as exc:
+                last_error = exc
+                if not isinstance(exc, DeadlineExceeded):
+                    only_slow = False
+                replica, future = self._fail_and_rotate(
+                    replica, exc, unique, sparse=sparse, attempt=attempt,
+                    tried=tried,
+                )
+                continue
+            if replica.breaker is not None:
+                replica.breaker.record_success()
+            return result, replica, delay
+        if only_slow and last_error is not None:
+            # Every failure was a deadline: the fleet is slow, not gone.
+            stats.deadline_overruns += 1
+            replica, future = self._submit_compute(unique, sparse=sparse)
+            return self._finish_compute_basic(
+                replica, future, unique, sparse=sparse
+            )
+        raise ReplicaUnavailable(
+            f"shard {self.shard_id}: gave up after {policy.max_attempts} "
+            f"attempt(s)"
+        ) from last_error
 
     def _plan(self, nodes: np.ndarray, *, sparse: bool) -> _PendingBatch:
         """Submit half of one batch: cache scan, then replica hand-off.
@@ -293,17 +603,37 @@ class Shard:
         else:
             miss_rows = list(range(nodes.size))
         plan.miss_rows = miss_rows
+        plan.failed = False
+        plan.unique = plan.inverse = None
+        plan.replica = plan.future = None
         if miss_rows:
             rows = np.asarray(miss_rows, dtype=np.int64)
             plan.unique, plan.inverse = np.unique(
                 nodes[rows], return_inverse=True
             )
-            plan.replica, plan.future = self._submit_compute(
-                plan.unique, sparse=sparse
-            )
-        else:
-            plan.unique = plan.inverse = None
-            plan.replica = plan.future = None
+            try:
+                plan.replica, plan.future = self._submit_compute(
+                    plan.unique, sparse=sparse
+                )
+            except ReplicaUnavailable:
+                if not self._degrade:
+                    raise
+                plan.failed = True  # finish serves degraded/shed rows
+        return plan
+
+    def _plan_lost(self, nodes: np.ndarray, *, sparse: bool) -> _PendingBatch:
+        """A batch whose request payload never reached the shard: no
+        cache scan, no compute — every row sheds at finish time."""
+        plan = _PendingBatch()
+        plan.nodes = nodes
+        plan.sparse = sparse
+        plan.out = None if sparse else np.empty((nodes.size, self.num_nodes))
+        plan.row_vecs = [None] * nodes.size if sparse else None
+        plan.infos = [None] * nodes.size
+        plan.miss_rows = []
+        plan.unique = plan.inverse = None
+        plan.replica = plan.future = None
+        plan.failed = True
         return plan
 
     def _finish(self, plan: _PendingBatch) -> tuple[Any, ...]:
@@ -314,13 +644,24 @@ class Shard:
         is one CSR matrix whose ``toarray()`` equals the dense path's
         result exactly.
         """
+        if plan.failed:
+            return self._finish_degraded(plan)
         if plan.miss_rows:
-            result, replica = self._finish_compute(
-                plan.replica, plan.future, plan.unique, sparse=plan.sparse
-            )
+            try:
+                result, replica, delay = self._finish_compute(
+                    plan.replica, plan.future, plan.unique, sparse=plan.sparse
+                )
+            except ReplicaUnavailable:
+                if not self._degrade:
+                    raise
+                return self._finish_degraded(plan)
             held = self._held if self._held is not None else ()
             info = RouteInfo(
-                self.shard_id, replica.replica_id, False, replica.epoch
+                self.shard_id,
+                replica.replica_id,
+                False,
+                replica.epoch,
+                latency_seconds=delay,
             )
             if plan.sparse:
                 unique_vecs = [
@@ -351,6 +692,63 @@ class Shard:
             return rows_matrix(plan.row_vecs, self.num_nodes), plan.infos
         return plan.out, plan.infos
 
+    def _finish_degraded(self, plan: _PendingBatch) -> tuple[Any, ...]:
+        """Graceful degradation: failover exhausted with ``degrade`` on.
+
+        Rows the cache already answered are kept and explicitly marked
+        ``"degraded"`` — the values are exact (the cache only holds
+        exact rows) but the dead partition could not confirm their
+        freshness.  Rows with no cached answer are *shed*: zeros with
+        ``status="shed"``, never an invented score.  The caller decides
+        what a shed row means (the service surfaces it as an error-
+        carrying ticket).
+        """
+        stats = self.res_stats
+        for i in range(int(plan.nodes.size)):
+            info = plan.infos[i]
+            if info is not None:
+                plan.infos[i] = RouteInfo(
+                    info.shard,
+                    info.replica,
+                    info.cached,
+                    info.epoch,
+                    status="degraded",
+                )
+                stats.degraded_rows += 1
+            else:
+                plan.infos[i] = RouteInfo(
+                    self.shard_id, -1, False, self.epoch, status="shed"
+                )
+                if plan.sparse:
+                    plan.row_vecs[i] = SparseVec.empty()
+                else:
+                    plan.out[i] = 0.0
+                stats.shed_rows += 1
+        self.queries += int(plan.nodes.size)
+        if plan.sparse:
+            return rows_matrix(plan.row_vecs, self.num_nodes), plan.infos
+        return plan.out, plan.infos
+
+    def _shed_response(
+        self, plan: _PendingBatch, infos: list[RouteInfo]
+    ) -> tuple[Any, list[RouteInfo]]:
+        """The response payload was lost for good: the router never saw
+        these rows, so the whole batch sheds — computed work included."""
+        stats = self.res_stats
+        new_infos: list[RouteInfo] = []
+        for info in infos:
+            if info.status == "shed":
+                new_infos.append(info)
+                continue
+            stats.shed_rows += 1
+            new_infos.append(
+                RouteInfo(self.shard_id, -1, False, self.epoch, status="shed")
+            )
+        n = int(plan.nodes.size)
+        if plan.sparse:
+            return rows_matrix([None] * n, self.num_nodes), new_infos
+        return np.zeros((n, self.num_nodes)), new_infos
+
     def _serve_dense(self, nodes: np.ndarray) -> tuple[np.ndarray, list[Any]]:
         """Dense rows for ``nodes`` via cache + chosen replica (unmetered)."""
         return self._finish(self._plan(nodes, sparse=False))
@@ -367,9 +765,16 @@ class Shard:
         :meth:`query_many_finish`.  The router submits to every shard
         before finishing any, so shard workers overlap."""
         nodes = validate_batch(nodes, self.num_nodes)
-        self.meter.record(
-            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
-        )
+        try:
+            self._record_wire(
+                "router",
+                f"shard-{self.shard_id}",
+                NODE_ID_WIRE_BYTES * nodes.size,
+            )
+        except ReplicaUnavailable:
+            if not self._degrade:
+                raise
+            return self._plan_lost(nodes, sparse=False)
         return self._plan(nodes, sparse=False)
 
     def query_many_finish(
@@ -379,7 +784,12 @@ class Shard:
         dense ``8n``-byte response rows."""
         out, infos = self._finish(plan)
         self.batches += 1
-        self.meter.record(f"shard-{self.shard_id}", "router", out.nbytes)
+        try:
+            self._record_wire(f"shard-{self.shard_id}", "router", out.nbytes)
+        except ReplicaUnavailable:
+            if not self._degrade:
+                raise
+            out, infos = self._shed_response(plan, infos)
         return out, infos
 
     def query_many_sparse_submit(
@@ -387,9 +797,16 @@ class Shard:
     ) -> _PendingBatch:
         """Sparse twin of :meth:`query_many_submit`."""
         nodes = validate_batch(nodes, self.num_nodes)
-        self.meter.record(
-            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
-        )
+        try:
+            self._record_wire(
+                "router",
+                f"shard-{self.shard_id}",
+                NODE_ID_WIRE_BYTES * nodes.size,
+            )
+        except ReplicaUnavailable:
+            if not self._degrade:
+                raise
+            return self._plan_lost(nodes, sparse=True)
         return self._plan(nodes, sparse=True)
 
     def query_many_sparse_finish(self, plan: _PendingBatch) -> tuple[Any, ...]:
@@ -399,11 +816,16 @@ class Shard:
         rows, which is the bandwidth win of the sparse pipeline."""
         out, infos = self._finish(plan)
         self.batches += 1
-        self.meter.record(
-            f"shard-{self.shard_id}",
-            "router",
-            WIRE_HEADER_BYTES * plan.nodes.size + WIRE_ENTRY_BYTES * out.nnz,
-        )
+        try:
+            self._record_wire(
+                f"shard-{self.shard_id}",
+                "router",
+                WIRE_HEADER_BYTES * plan.nodes.size + WIRE_ENTRY_BYTES * out.nnz,
+            )
+        except ReplicaUnavailable:
+            if not self._degrade:
+                raise
+            out, infos = self._shed_response(plan, infos)
         return out, infos
 
     def query_many(
@@ -443,21 +865,55 @@ class Shard:
         exists shard-side; ids and scores are identical either way.
         """
         nodes = validate_batch(nodes, self.num_nodes)
-        self.meter.record(
-            "router", f"shard-{self.shard_id}", NODE_ID_WIRE_BYTES * nodes.size
-        )
+        try:
+            self._record_wire(
+                "router",
+                f"shard-{self.shard_id}",
+                NODE_ID_WIRE_BYTES * nodes.size,
+            )
+        except ReplicaUnavailable:
+            if not self._degrade:
+                raise
+            self.batches += 1
+            return self._shed_topk(nodes, k, count_queries=True)
         serve = self._serve_sparse if sparse else self._serve_dense
         ids, scores, infos = topk_in_batches(
             serve, nodes, k, self.num_nodes, batch, threshold,
             kernels=self.kernels,
         )
         self.batches += 1
-        self.meter.record(
-            f"shard-{self.shard_id}",
-            "router",
-            TOPK_ENTRY_WIRE_BYTES * ids.size,
-        )
+        try:
+            self._record_wire(
+                f"shard-{self.shard_id}",
+                "router",
+                TOPK_ENTRY_WIRE_BYTES * ids.size,
+            )
+        except ReplicaUnavailable:
+            if not self._degrade:
+                raise
+            return self._shed_topk(nodes, k)
         return ids, scores, infos
+
+    def _shed_topk(
+        self, nodes: np.ndarray, k: int, *, count_queries: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, list[RouteInfo]]:
+        """Shed one top-k batch whose request or response was lost for
+        good: zero ids/scores, every row explicitly ``status="shed"``.
+        ``count_queries`` is set on the request-leg loss, where the rows
+        never reached the serving path that normally counts them."""
+        k_eff = min(int(k), self.num_nodes)
+        self.res_stats.shed_rows += int(nodes.size)
+        if count_queries:
+            self.queries += int(nodes.size)
+        infos = [
+            RouteInfo(self.shard_id, -1, False, self.epoch, status="shed")
+            for _ in range(int(nodes.size))
+        ]
+        return (
+            np.zeros((nodes.size, k_eff), dtype=np.int64),
+            np.zeros((nodes.size, k_eff)),
+            infos,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

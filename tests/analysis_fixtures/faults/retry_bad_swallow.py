@@ -1,0 +1,22 @@
+"""Bad: bounded retry loops that swallow the last error (RPR006)."""
+
+from repro.errors import TransientFault
+
+
+def fetch_with_retries(link, payload):
+    for _attempt in range(3):  # expect: RPR006
+        try:
+            return link.send(payload)
+        except TransientFault:
+            continue
+
+
+def drain(queue, budget):
+    got = []
+    while budget > 0:  # expect: RPR006
+        budget -= 1
+        try:
+            got.append(queue.pop())
+        except TransientFault:
+            continue
+    return got

@@ -1,0 +1,34 @@
+"""OK: bounded retries re-raise on exhaustion and charge their waits."""
+
+from repro.errors import TransientFault
+from repro.sharding.resilience import charge_wait
+
+
+def send_with_retries(link, payload, policy, clock):
+    last_error = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return link.send(payload)
+        except TransientFault as exc:
+            last_error = exc
+            charge_wait(clock, policy.backoff(attempt))
+            continue
+    raise last_error
+
+
+def send_reraising_inline(link, payload, policy):
+    for attempt in range(policy.max_attempts):
+        try:
+            return link.send(payload)
+        except TransientFault:
+            if attempt == policy.max_attempts - 1:
+                raise
+            continue
+
+
+def pump_forever(queue):
+    while True:  # cannot exhaust, so the swallowed error always retries
+        try:
+            return queue.pop()
+        except TransientFault:
+            continue

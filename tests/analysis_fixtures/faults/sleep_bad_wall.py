@@ -1,0 +1,22 @@
+"""Bad: wall-clock sleeps instead of clock-charged waits (RPR006)."""
+
+import time
+
+from repro.errors import TransientFault
+
+
+def send_with_backoff(link, payload, policy):
+    last_error = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return link.send(payload)
+        except TransientFault as exc:
+            last_error = exc
+            time.sleep(policy.backoff(attempt))  # expect: RPR006
+            continue
+    raise last_error
+
+
+def wait_for_recovery(replica, clock):
+    while not replica.is_up(clock.now()):
+        time.sleep(0.01)  # expect: RPR006
